@@ -1,0 +1,116 @@
+// Command edgenode runs one live edge-blockchain node over real TCP —
+// the paper's deployment style, minus Docker. All nodes of a deployment
+// must share -roster-seed, -roster-size, -genesis and -epoch; each picks a
+// distinct -index.
+//
+// Terminal A:
+//
+//	edgenode -index 0 -listen 127.0.0.1:7000 -epoch 1700000000
+//
+// Terminal B:
+//
+//	edgenode -index 1 -listen 127.0.0.1:7001 -peers 127.0.0.1:7000 \
+//	         -epoch 1700000000 -publish 10s
+//
+// The demo roster derives every node's key pair deterministically from the
+// roster seed; production deployments would distribute real public keys
+// instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/identity"
+	"repro/internal/livenode"
+	"repro/internal/pos"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	var (
+		index      = flag.Int("index", 0, "this node's position in the roster")
+		rosterSeed = flag.Int64("roster-seed", 1, "seed deriving all roster key pairs (demo only)")
+		rosterSize = flag.Int("roster-size", 5, "number of accounts in the roster")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peersFlag  = flag.String("peers", "", "comma-separated peer addresses to connect to")
+		t0         = flag.Duration("t0", 10*time.Second, "expected block interval")
+		genesis    = flag.Int64("genesis", 42, "genesis seed (must match across the deployment)")
+		epochUnix  = flag.Int64("epoch", 0, "shared epoch as unix seconds (must match; default: now, fine for the first node)")
+		publish    = flag.Duration("publish", 0, "publish a demo data item this often (0 = never)")
+	)
+	flag.Parse()
+
+	if *index < 0 || *index >= *rosterSize {
+		log.Fatalf("index %d out of roster [0,%d)", *index, *rosterSize)
+	}
+	rng := rand.New(rand.NewSource(*rosterSeed))
+	idents := make([]*identity.Identity, *rosterSize)
+	accounts := make([]identity.Address, *rosterSize)
+	for i := range idents {
+		idents[i] = identity.GenerateSeeded(rng)
+		accounts[i] = idents[i].Address()
+	}
+	epoch := time.Now()
+	if *epochUnix > 0 {
+		epoch = time.Unix(*epochUnix, 0)
+	}
+
+	params := pos.DefaultParams()
+	params.T0 = *t0
+	node, err := livenode.New(livenode.Config{
+		Identity:    idents[*index],
+		Accounts:    accounts,
+		PoS:         params,
+		GenesisSeed: *genesis,
+		Epoch:       epoch,
+		ListenAddr:  *listen,
+		OnBlock: func(b *block.Block) {
+			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("node %d (%s) listening on %s, epoch %d, t0 %v",
+		*index, accounts[*index].Short(), node.Addr(), epoch.Unix(), *t0)
+
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				if err := node.Connect(p); err != nil {
+					log.Printf("connect %s: %v", p, err)
+				}
+			}
+		}
+	}
+
+	if *publish > 0 {
+		go func() {
+			seq := 0
+			for range time.Tick(*publish) {
+				seq++
+				content := fmt.Sprintf("demo data %d from node %d at %s", seq, *index, time.Now())
+				it, err := node.Publish([]byte(content), "Demo/Tick", "cli")
+				if err != nil {
+					log.Printf("publish: %v", err)
+					continue
+				}
+				log.Printf("published %s (%d bytes)", it.ID.Short(), len(content))
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down at height %d", node.Height())
+}

@@ -1,0 +1,96 @@
+// Command edgesim runs one edge-blockchain simulation with the paper's
+// parameters (overridable by flags) and prints the measured results.
+//
+// Usage:
+//
+//	edgesim -nodes 30 -rate 2 -duration 500m -placement optimal -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	edgechain "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nodes     = flag.Int("nodes", 30, "number of edge nodes (paper: 10-50)")
+		rate      = flag.Float64("rate", 1, "data items generated per minute network-wide (paper: 1-3)")
+		duration  = flag.Duration("duration", 500*time.Minute, "simulated run time (paper: 500 min)")
+		placement = flag.String("placement", "optimal", "data placement strategy: optimal | random")
+		seed      = flag.Int64("seed", 1, "random seed; same seed, same run")
+		raft      = flag.Bool("raft", false, "run the Raft general-consensus layer alongside the chain")
+		blockTime = flag.Duration("t0", time.Minute, "expected time between blocks")
+		consensus = flag.String("consensus", "pos", "mining consensus: pos | pow")
+		migrate   = flag.Int("migrate", 0, "max data migrations per block (0 = off)")
+		verbose   = flag.Bool("v", false, "print per-node detail")
+	)
+	flag.Parse()
+
+	cfg := edgechain.DefaultConfig(*nodes)
+	cfg.DataRatePerMin = *rate
+	cfg.Seed = *seed
+	cfg.EnableRaft = *raft
+	cfg.PoS.T0 = *blockTime
+	switch *placement {
+	case "optimal":
+		cfg.Placement = edgechain.PlaceOptimal
+	case "random":
+		cfg.Placement = edgechain.PlaceRandom
+	default:
+		log.Fatalf("unknown placement %q (want optimal or random)", *placement)
+	}
+	switch *consensus {
+	case "pos":
+		cfg.Consensus = edgechain.ConsensusPoS
+	case "pow":
+		cfg.Consensus = edgechain.ConsensusPoW
+	default:
+		log.Fatalf("unknown consensus %q (want pos or pow)", *consensus)
+	}
+	cfg.MigrateMaxPerBlock = *migrate
+
+	start := time.Now()
+	sys, err := edgechain.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(*duration); err != nil {
+		log.Fatal(err)
+	}
+	res := sys.Results()
+
+	fmt.Printf("edgesim: %d nodes, %.0f items/min, %v simulated in %v wall time (seed %d)\n",
+		res.NumNodes, res.DataRatePerMin, *duration, time.Since(start).Round(time.Millisecond), *seed)
+	fmt.Printf("  placement:        %v\n", res.Placement)
+	fmt.Printf("  chain height:     %d blocks (t0 = %v)\n", res.ChainHeight, *blockTime)
+	fmt.Printf("  data generated:   %d items\n", res.DataGenerated)
+	fmt.Printf("  deliveries:       %d (mean %.2f s, p50 %.2f s, p95 %.2f s, failed %d)\n",
+		res.Delivery.Count, res.Delivery.Mean, res.Delivery.P50, res.Delivery.P95, res.FailedRequests)
+	fmt.Printf("  storage gini:     %.4f\n", res.StorageGini)
+	fmt.Printf("  avg tx per node:  %.1f MB (total %.1f MB)\n",
+		res.AvgTxBytesPerNode/(1<<20), float64(res.TotalTxBytes)/(1<<20))
+	fmt.Printf("  gap recoveries:   %d, full-chain syncs: %d, failed fetches: %d, migrations: %d\n",
+		res.GapRecoveries, res.ForkReplacements, res.FailedFetches, res.Migrations)
+	fmt.Printf("  energy:           %.1f J total (%s mining + radio), %.2f J/block\n",
+		res.TotalEnergyJ, res.Consensus, res.EnergyPerBlockJ)
+	fmt.Println("  traffic by kind:")
+	for _, k := range []string{"data", "block", "meta", "ctrl", "raft"} {
+		if b, ok := res.KindBytes[k]; ok {
+			fmt.Printf("    %-6s %10.2f MB\n", k, float64(b)/(1<<20))
+		}
+	}
+	if *verbose {
+		fmt.Println("  per-node storage / tx:")
+		for i, c := range res.StorageCounts {
+			fmt.Printf("    node %2d: %4d items stored, %8.1f MB sent\n",
+				i, c, float64(res.PerNodeTxBytes[i])/(1<<20))
+		}
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,44 @@
+// Command minebench compares the mining energy of Proof-of-Work and the
+// paper's Proof-of-Stake on the calibrated Galaxy S8 battery model
+// (Fig. 6). With -real it performs the actual SHA-256 work instead of
+// sampling the geometric attempt distribution.
+//
+// Usage:
+//
+//	minebench                 # paper settings: 16-bit difficulty, 25 s blocks
+//	minebench -real -bits 14  # really hash, at reduced difficulty
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pow"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		bits   = flag.Int("bits", pow.DefaultDifficultyBits, "PoW difficulty in leading zero bits (paper: 16)")
+		blocks = flag.Int("blocks", 330, "blocks to mine per algorithm")
+		mean   = flag.Duration("t", 25*time.Second, "mean block time (paper: 25 s)")
+		real   = flag.Bool("real", false, "perform real SHA-256 proof-of-work")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	res, err := experiments.RunFig6(experiments.Fig6Config{
+		MeanBlockTime:  *mean,
+		DifficultyBits: *bits,
+		Blocks:         *blocks,
+		Seed:           *seed,
+		RealHashing:    *real,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintFig6(os.Stdout, res)
+}

@@ -1,0 +1,71 @@
+package edgechain_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	edgechain "repro"
+)
+
+func TestRunSimulationFacade(t *testing.T) {
+	cfg := edgechain.DefaultConfig(10)
+	cfg.Seed = 3
+	cfg.DataRatePerMin = 2
+	res, err := edgechain.RunSimulation(cfg, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChainHeight == 0 {
+		t.Fatal("no blocks mined through the facade")
+	}
+	if res.NumNodes != 10 {
+		t.Fatalf("NumNodes = %d, want 10", res.NumNodes)
+	}
+}
+
+func TestRunSimulationRejectsBadConfig(t *testing.T) {
+	cfg := edgechain.DefaultConfig(0)
+	if _, err := edgechain.RunSimulation(cfg, time.Minute); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestGiniFacade(t *testing.T) {
+	if g := edgechain.Gini([]float64{1, 1, 1}); g != 0 {
+		t.Fatalf("Gini of equal values = %v, want 0", g)
+	}
+}
+
+func TestFigureRunnersFacade(t *testing.T) {
+	rows4, err := edgechain.RunFig4(edgechain.Fig4Config{
+		NodeCounts: []int{10}, Rates: []float64{1},
+		Duration: 20 * time.Minute, Seed: 1,
+	})
+	if err != nil || len(rows4) != 1 {
+		t.Fatalf("RunFig4: rows=%d err=%v", len(rows4), err)
+	}
+	rows5, err := edgechain.RunFig5(edgechain.Fig5Config{
+		NodeCounts: []int{10}, Duration: 20 * time.Minute, Seed: 1,
+	})
+	if err != nil || len(rows5) != 1 {
+		t.Fatalf("RunFig5: rows=%d err=%v", len(rows5), err)
+	}
+	res6, err := edgechain.RunFig6(edgechain.Fig6Config{Seed: 1, Blocks: 50})
+	if err != nil || len(res6.PoW) == 0 {
+		t.Fatalf("RunFig6: err=%v", err)
+	}
+}
+
+// ExampleRunSimulation demonstrates the one-call API.
+func ExampleRunSimulation() {
+	cfg := edgechain.DefaultConfig(10)
+	cfg.Seed = 1
+	cfg.DataRatePerMin = 1
+	res, err := edgechain.RunSimulation(cfg, 10*time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ChainHeight > 0, res.StorageGini < 0.5)
+	// Output: true true
+}

@@ -1,0 +1,104 @@
+// Livecluster: run the blockchain over real TCP sockets on localhost —
+// three in-process nodes with wall-clock PoS mining, the deployment style
+// of the paper's original Node.js/Docker setup. One node publishes a data
+// item; another discovers it on-chain and fetches the content by hash.
+//
+// This example runs in real time (about ten seconds).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	edgechain "repro"
+	"repro/internal/pos"
+)
+
+func main() {
+	const n = 3
+	rng := rand.New(rand.NewSource(1))
+	idents := make([]*edgechain.Identity, n)
+	accounts := make([]edgechain.Address, n)
+	for i := range idents {
+		idents[i] = edgechain.NewSeededIdentity(rng)
+		accounts[i] = idents[i].Address()
+	}
+	epoch := time.Now()
+	params := pos.Params{M: pos.DefaultM, T0: 2 * time.Second}
+
+	nodes := make([]*edgechain.LiveNode, n)
+	for i := range nodes {
+		node, err := edgechain.NewLiveNode(edgechain.LiveConfig{
+			Identity:    idents[i],
+			Accounts:    accounts,
+			PoS:         params,
+			GenesisSeed: 42,
+			Epoch:       epoch,
+			ListenAddr:  "127.0.0.1:0",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		fmt.Printf("node %d (%s) listening on %s\n", i, accounts[i].Short(), node.Addr())
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Connect(nodes[0].Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := nodes[1].Connect(nodes[2].Addr()); err != nil {
+		log.Fatal(err)
+	}
+
+	content := []byte("live sensor reading: PM2.5 = 17 ug/m3")
+	it, err := nodes[0].Publish(content, "AirQuality/PM2.5", "lab")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 0 published %s (%d bytes)\n", it.ID.Short(), len(content))
+
+	// Wait for the item to be mined into a block on node 1's replica.
+	deadline := time.Now().Add(30 * time.Second)
+	for !nodes[1].HasItemOnChain(it.ID) {
+		if time.Now().After(deadline) {
+			log.Fatal("item never reached the chain")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("item on chain at height %d\n", nodes[1].Height())
+
+	// Node 2 fetches the content by hash unless it was already assigned.
+	if !nodes[2].HasData(it.ID) {
+		nodes[2].RequestData(it.ID)
+		for !nodes[2].HasData(it.ID) {
+			if time.Now().After(deadline) {
+				log.Fatal("data never arrived")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	fmt.Println("node 2 holds the data; integrity verified by content hash")
+
+	// Let a couple more blocks land, then check convergence.
+	for nodes[0].Height() < 3 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	low := nodes[0].Height()
+	for _, nd := range nodes[1:] {
+		if h := nd.Height(); h < low {
+			low = h
+		}
+	}
+	want, _ := nodes[0].BlockHashAt(low)
+	for i, nd := range nodes[1:] {
+		got, ok := nd.BlockHashAt(low)
+		if !ok || got != want {
+			log.Fatalf("node %d diverges at height %d", i+1, low)
+		}
+	}
+	fmt.Printf("all nodes agree through height %d — live cluster verified\n", low)
+}

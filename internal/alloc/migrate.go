@@ -1,0 +1,91 @@
+package alloc
+
+// Data migration (the paper's Section VII future work: "we will discuss
+// the data migration problem, which will study how to use less operation
+// to achieve less offset from the optimal result").
+//
+// Given the current storing set of an item and a freshly computed optimal
+// placement, MigrationPlan pairs departures with arrivals so the item
+// moves with the minimum number of copy operations: nodes in both sets
+// keep their copy for free, each new node receives one copy (preferably
+// from a departing node, otherwise from any keeper), and departing nodes
+// release their storage afterwards.
+
+// Move is one copy operation of the migration plan.
+type Move struct {
+	// From is a node that currently stores the item and will transfer it.
+	From int
+	// To is the node that must newly store the item.
+	To int
+}
+
+// Plan is the minimal-operation migration for one item.
+type Plan struct {
+	// Keep are nodes present in both the current and desired sets: no
+	// operation needed.
+	Keep []int
+	// Moves are the required copy operations (one per new storing node).
+	Moves []Move
+	// Release are current holders not in the desired set; they free the
+	// storage once the moves complete.
+	Release []int
+}
+
+// Ops returns the number of copy operations.
+func (p *Plan) Ops() int { return len(p.Moves) }
+
+// Empty reports whether the placement is already optimal.
+func (p *Plan) Empty() bool { return len(p.Moves) == 0 && len(p.Release) == 0 }
+
+// MigrationPlan computes the minimal-operation plan from the current
+// holders to the desired set. Both slices may be unsorted; duplicates are
+// ignored. If current is empty every desired node is sourced from -1
+// (meaning: fetch from the producer).
+func MigrationPlan(current, desired []int) *Plan {
+	cur := make(map[int]bool, len(current))
+	for _, n := range current {
+		cur[n] = true
+	}
+	des := make(map[int]bool, len(desired))
+	for _, n := range desired {
+		des[n] = true
+	}
+	p := &Plan{}
+	for _, n := range sortedUnique(current) {
+		if des[n] {
+			p.Keep = append(p.Keep, n)
+		} else {
+			p.Release = append(p.Release, n)
+		}
+	}
+	// Sources: prefer releasing nodes (their transfer doubles as the
+	// hand-off), then keepers, round-robin; -1 means "fetch from the
+	// producer" when nothing currently stores the item.
+	sources := append([]int(nil), p.Release...)
+	sources = append(sources, p.Keep...)
+	si := 0
+	for _, n := range sortedUnique(desired) {
+		if cur[n] {
+			continue
+		}
+		src := -1
+		if len(sources) > 0 {
+			src = sources[si%len(sources)]
+			si++
+		}
+		p.Moves = append(p.Moves, Move{From: src, To: n})
+	}
+	return p
+}
+
+func sortedUnique(s []int) []int {
+	out := make([]int, 0, len(s))
+	seen := make(map[int]bool, len(s))
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return sortedInts(out)
+}

@@ -1,0 +1,125 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMigrationPlanDisjointSets(t *testing.T) {
+	p := MigrationPlan([]int{1, 2}, []int{3, 4})
+	if len(p.Keep) != 0 {
+		t.Fatalf("keep = %v, want empty", p.Keep)
+	}
+	if len(p.Moves) != 2 {
+		t.Fatalf("moves = %v, want 2", p.Moves)
+	}
+	for _, m := range p.Moves {
+		if m.From != 1 && m.From != 2 {
+			t.Fatalf("move source %d not a current holder", m.From)
+		}
+	}
+	if len(p.Release) != 2 {
+		t.Fatalf("release = %v, want [1 2]", p.Release)
+	}
+	if p.Empty() || p.Ops() != 2 {
+		t.Fatal("plan accounting wrong")
+	}
+}
+
+func TestMigrationPlanOverlap(t *testing.T) {
+	p := MigrationPlan([]int{1, 2, 3}, []int{2, 3, 4})
+	if len(p.Keep) != 2 || p.Keep[0] != 2 || p.Keep[1] != 3 {
+		t.Fatalf("keep = %v, want [2 3]", p.Keep)
+	}
+	if len(p.Moves) != 1 || p.Moves[0].To != 4 || p.Moves[0].From != 1 {
+		t.Fatalf("moves = %v, want one move 1->4", p.Moves)
+	}
+	if len(p.Release) != 1 || p.Release[0] != 1 {
+		t.Fatalf("release = %v, want [1]", p.Release)
+	}
+}
+
+func TestMigrationPlanIdentical(t *testing.T) {
+	p := MigrationPlan([]int{5, 6}, []int{6, 5})
+	if !p.Empty() {
+		t.Fatalf("identical sets produced work: %+v", p)
+	}
+}
+
+func TestMigrationPlanFromNothing(t *testing.T) {
+	p := MigrationPlan(nil, []int{1, 2})
+	if len(p.Moves) != 2 {
+		t.Fatalf("moves = %v", p.Moves)
+	}
+	for _, m := range p.Moves {
+		if m.From != -1 {
+			t.Fatalf("move %v should source from the producer (-1)", m)
+		}
+	}
+}
+
+func TestMigrationPlanDuplicatesIgnored(t *testing.T) {
+	p := MigrationPlan([]int{1, 1, 2}, []int{2, 2, 3})
+	if len(p.Keep) != 1 || len(p.Moves) != 1 || len(p.Release) != 1 {
+		t.Fatalf("plan with duplicates wrong: %+v", p)
+	}
+}
+
+// Property: after applying the plan, the holder set equals the desired
+// set, and the number of copy operations equals |desired \ current|
+// (minimality).
+func TestMigrationPlanProperty(t *testing.T) {
+	prop := func(curRaw, desRaw []uint8) bool {
+		current := make([]int, len(curRaw))
+		for i, v := range curRaw {
+			current[i] = int(v % 16)
+		}
+		desired := make([]int, len(desRaw))
+		for i, v := range desRaw {
+			desired[i] = int(v % 16)
+		}
+		p := MigrationPlan(current, desired)
+
+		holders := make(map[int]bool)
+		for _, n := range current {
+			holders[n] = true
+		}
+		for _, m := range p.Moves {
+			// Source must hold the item (or be the producer).
+			if m.From != -1 && !holders[m.From] {
+				return false
+			}
+			holders[m.To] = true
+		}
+		for _, n := range p.Release {
+			delete(holders, n)
+		}
+		want := make(map[int]bool)
+		for _, n := range desired {
+			want[n] = true
+		}
+		if len(holders) != len(want) {
+			return false
+		}
+		for n := range want {
+			if !holders[n] {
+				return false
+			}
+		}
+		// Minimality.
+		newCount := 0
+		curSet := make(map[int]bool)
+		for _, n := range current {
+			curSet[n] = true
+		}
+		for n := range want {
+			if !curSet[n] {
+				newCount++
+			}
+		}
+		return p.Ops() == newCount
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

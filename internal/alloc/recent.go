@@ -1,0 +1,78 @@
+package alloc
+
+// RecentCache is the FIFO cache of recent block indices from Section IV-C:
+// "nodes are required to cache a certain number of most recent blocks and
+// replace the blocks using FIFO. To start with, all nodes store at least
+// the last block for mining purposes."
+//
+// Entries are block heights. Depth is the node's current cache allowance;
+// it starts at 1 and grows by one every time the node is chosen as a
+// recent-block assignee in a mined block.
+type RecentCache struct {
+	depth int
+	fifo  []uint64
+}
+
+// NewRecentCache creates a cache with the given initial depth (minimum 1).
+func NewRecentCache(depth int) *RecentCache {
+	if depth < 1 {
+		depth = 1
+	}
+	return &RecentCache{depth: depth}
+}
+
+// Depth returns the current cache allowance.
+func (c *RecentCache) Depth() int { return c.depth }
+
+// Len returns the number of cached block heights.
+func (c *RecentCache) Len() int { return len(c.fifo) }
+
+// Grow increases the allowance by one (the node was chosen as a
+// recent-block assignee and earns the storage incentive).
+func (c *RecentCache) Grow() { c.depth++ }
+
+// SetDepth clamps the allowance to at least 1 and evicts overflow in FIFO
+// order.
+func (c *RecentCache) SetDepth(d int) []uint64 {
+	if d < 1 {
+		d = 1
+	}
+	c.depth = d
+	return c.evictOverflow()
+}
+
+// Push records a newly received block height, evicting the oldest entries
+// beyond the allowance. It returns the evicted heights (storage to be
+// released).
+func (c *RecentCache) Push(height uint64) []uint64 {
+	for _, h := range c.fifo {
+		if h == height {
+			return nil
+		}
+	}
+	c.fifo = append(c.fifo, height)
+	return c.evictOverflow()
+}
+
+func (c *RecentCache) evictOverflow() []uint64 {
+	if len(c.fifo) <= c.depth {
+		return nil
+	}
+	n := len(c.fifo) - c.depth
+	evicted := append([]uint64(nil), c.fifo[:n]...)
+	c.fifo = append(c.fifo[:0], c.fifo[n:]...)
+	return evicted
+}
+
+// Contains reports whether the height is cached.
+func (c *RecentCache) Contains(height uint64) bool {
+	for _, h := range c.fifo {
+		if h == height {
+			return true
+		}
+	}
+	return false
+}
+
+// Heights returns the cached heights oldest-first (do not modify).
+func (c *RecentCache) Heights() []uint64 { return c.fifo }

@@ -1,0 +1,199 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/meta"
+)
+
+func testIdentity(seed int64) *identity.Identity {
+	return identity.GenerateSeeded(rand.New(rand.NewSource(seed)))
+}
+
+func signedItem(t testing.TB, id *identity.Identity, payload string) *meta.Item {
+	t.Helper()
+	it := &meta.Item{
+		ID:       meta.HashData([]byte(payload)),
+		Type:     "Test/Item",
+		Produced: time.Minute,
+		ValidFor: time.Hour,
+		DataSize: 1 << 20,
+	}
+	it.Sign(id)
+	return it
+}
+
+func TestGenesisDeterministic(t *testing.T) {
+	a, b := Genesis(7), Genesis(7)
+	if a.Hash != b.Hash {
+		t.Fatal("same seed produced different genesis blocks")
+	}
+	c := Genesis(8)
+	if a.Hash == c.Hash {
+		t.Fatal("different seeds produced identical genesis blocks")
+	}
+	if a.Index != 0 || !a.Miner.IsZero() {
+		t.Fatal("genesis must have index 0 and no miner")
+	}
+	if err := a.VerifySelf(); err != nil {
+		t.Fatalf("genesis VerifySelf: %v", err)
+	}
+}
+
+func TestBuilderProducesValidBlock(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	producer := testIdentity(2)
+	it := signedItem(t, producer, "data-0")
+	it.StoringNodes = []int{3, 4}
+	b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).
+		AddItem(it).
+		SetStoringNodes([]int{1, 2}).
+		SetPrevStoringNodes([]int{0}).
+		SetRecentAssignees([]int{5}).
+		Seal()
+	if err := b.VerifySelf(); err != nil {
+		t.Fatalf("VerifySelf: %v", err)
+	}
+	if err := b.VerifyLink(g); err != nil {
+		t.Fatalf("VerifyLink: %v", err)
+	}
+	if b.Index != 1 || b.PrevHash != g.Hash {
+		t.Fatal("builder linkage fields wrong")
+	}
+	if b.PoSHash != g.NextPoSHash(miner.Address()) {
+		t.Fatal("builder PoSHash not chained per eq. (7)")
+	}
+}
+
+func TestVerifySelfDetectsTampering(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).Seal()
+
+	mutations := map[string]func(*Block){
+		"index":     func(b *Block) { b.Index++ },
+		"timestamp": func(b *Block) { b.Timestamp++ },
+		"B":         func(b *Block) { b.B *= 2 },
+		"miner":     func(b *Block) { b.Miner[0] ^= 1 },
+		"poshash":   func(b *Block) { b.PoSHash[0] ^= 1 },
+		"storing":   func(b *Block) { b.StoringNodes = []int{9} },
+		"recent":    func(b *Block) { b.RecentAssignees = []int{9} },
+		"after":     func(b *Block) { b.MinedAfter++ },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			cp := b.Clone()
+			mutate(cp)
+			if err := cp.VerifySelf(); err == nil {
+				t.Fatalf("tampered %s passed VerifySelf", name)
+			}
+		})
+	}
+}
+
+func TestVerifySelfRejectsForgedItem(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	producer := testIdentity(2)
+	it := signedItem(t, producer, "data")
+	it.Type = "Forged/Type" // breaks the producer signature
+	b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).AddItem(it).Seal()
+	if err := b.VerifySelf(); err == nil {
+		t.Fatal("block with forged metadata item passed VerifySelf")
+	}
+}
+
+func TestVerifyLinkErrors(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	good := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).Seal()
+
+	t.Run("bad index", func(t *testing.T) {
+		b := good.Clone()
+		b.Index = 5
+		b.Seal()
+		if err := b.VerifyLink(g); err == nil {
+			t.Fatal("index gap accepted")
+		}
+	})
+	t.Run("bad prev hash", func(t *testing.T) {
+		b := good.Clone()
+		b.PrevHash[0] ^= 1
+		b.Seal()
+		if err := b.VerifyLink(g); err == nil {
+			t.Fatal("broken hash link accepted")
+		}
+	})
+	t.Run("time regression", func(t *testing.T) {
+		b2 := NewBuilder(good, miner.Address(), 0, 1, 0.5).Seal()
+		b2.Timestamp = good.Timestamp - time.Second
+		b2.Seal()
+		if err := b2.VerifyLink(good); err == nil {
+			t.Fatal("timestamp regression accepted")
+		}
+	})
+	t.Run("wrong poshash chain", func(t *testing.T) {
+		// A miner claiming someone else's PoSHash lineage must be caught.
+		other := testIdentity(3)
+		b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).Seal()
+		forged := b.Clone()
+		forged.PoSHash = g.NextPoSHash(other.Address())
+		forged.Seal()
+		if err := forged.VerifyLink(g); err != ErrBadPoSHash {
+			t.Fatalf("err = %v, want ErrBadPoSHash", err)
+		}
+	})
+}
+
+func TestNextPoSHashDependsOnAccount(t *testing.T) {
+	g := Genesis(1)
+	a, b := testIdentity(1), testIdentity(2)
+	if g.NextPoSHash(a.Address()) == g.NextPoSHash(b.Address()) {
+		t.Fatal("PoSHash identical for different accounts")
+	}
+	if g.NextPoSHash(a.Address()) != g.NextPoSHash(a.Address()) {
+		t.Fatal("PoSHash not deterministic")
+	}
+}
+
+func TestEncodedSizeUnder10KB(t *testing.T) {
+	// The paper reports average block size below 10 KB; a block with a
+	// typical minute of metadata (a few items) must fit comfortably.
+	g := Genesis(1)
+	miner := testIdentity(1)
+	bld := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5)
+	producer := testIdentity(2)
+	for i := 0; i < 3; i++ {
+		it := signedItem(t, producer, string(rune('a'+i)))
+		it.StoringNodes = []int{1, 2, 3}
+		bld.AddItem(it)
+	}
+	b := bld.SetStoringNodes([]int{1, 2}).SetRecentAssignees([]int{3}).Seal()
+	if size := b.EncodedSize(); size > 10<<10 {
+		t.Fatalf("block size %d bytes, want < 10KB", size)
+	}
+	if b.EncodedSize() <= 0 {
+		t.Fatal("non-positive block size")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	it := signedItem(t, testIdentity(2), "x")
+	b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).
+		AddItem(it).SetStoringNodes([]int{1}).Seal()
+	cp := b.Clone()
+	cp.StoringNodes[0] = 42
+	cp.Items[0].Type = "mutated"
+	if b.StoringNodes[0] == 42 || b.Items[0].Type == "mutated" {
+		t.Fatal("Clone shares memory with original")
+	}
+	if err := b.VerifySelf(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package block
+
+import (
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/meta"
+)
+
+// Builder assembles the next block on top of a parent. The zero value is
+// not usable; create one with NewBuilder.
+type Builder struct {
+	b *Block
+}
+
+// NewBuilder starts a block extending prev, mined by the given account at
+// the given time. minedAfter is t from eq. (8) in whole seconds, and amendB
+// the amendment number the miner used.
+func NewBuilder(prev *Block, miner identity.Address, ts time.Duration, minedAfter uint64, amendB float64) *Builder {
+	return &Builder{b: &Block{
+		Index:      prev.Index + 1,
+		PrevHash:   prev.Hash,
+		Timestamp:  ts,
+		Miner:      miner,
+		PoSHash:    prev.NextPoSHash(miner),
+		B:          amendB,
+		MinedAfter: minedAfter,
+	}}
+}
+
+// AddItem packs a metadata item (already annotated with storing nodes).
+func (bl *Builder) AddItem(it *meta.Item) *Builder {
+	bl.b.Items = append(bl.b.Items, it)
+	return bl
+}
+
+// SetStoringNodes records which nodes must store this block's body.
+func (bl *Builder) SetStoringNodes(ns []int) *Builder {
+	bl.b.StoringNodes = append([]int(nil), ns...)
+	return bl
+}
+
+// SetPrevStoringNodes repeats the previous block's storing nodes.
+func (bl *Builder) SetPrevStoringNodes(ns []int) *Builder {
+	bl.b.PrevStoringNodes = append([]int(nil), ns...)
+	return bl
+}
+
+// SetRecentAssignees records which nodes must cache one more recent block.
+func (bl *Builder) SetRecentAssignees(ns []int) *Builder {
+	bl.b.RecentAssignees = append([]int(nil), ns...)
+	return bl
+}
+
+// Seal computes the hash and returns the finished block. The builder must
+// not be reused afterwards.
+func (bl *Builder) Seal() *Block {
+	bl.b.Seal()
+	return bl.b
+}

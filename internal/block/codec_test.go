@@ -1,0 +1,111 @@
+package block
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := Genesis(1)
+	miner := testIdentity(1)
+	producer := testIdentity(2)
+	it := signedItem(t, producer, "payload")
+	it.StoringNodes = []int{3, 4}
+	b := NewBuilder(g, miner.Address(), time.Minute, 60, 0.5).
+		AddItem(it).
+		SetStoringNodes([]int{1, 2}).
+		SetPrevStoringNodes([]int{0}).
+		SetRecentAssignees([]int{5}).
+		Seal()
+
+	got, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, b)
+	}
+	if err := got.VerifySelf(); err != nil {
+		t.Fatalf("decoded block fails verification: %v", err)
+	}
+}
+
+func TestEncodeDecodeGenesis(t *testing.T) {
+	g := Genesis(7)
+	got, err := Decode(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != g.Hash {
+		t.Fatal("genesis did not round trip")
+	}
+}
+
+func TestDecodeRejectsTamperedBytes(t *testing.T) {
+	g := Genesis(1)
+	b := NewBuilder(g, testIdentity(1).Address(), time.Minute, 60, 0.5).Seal()
+	enc := b.Encode()
+	for _, pos := range []int{0, 8, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[pos] ^= 0x01
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at %d accepted", pos)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationAndTrailing(t *testing.T) {
+	b := Genesis(1)
+	enc := b.Encode()
+	for cut := 0; cut < len(enc); cut += 13 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// Property: random garbage must never panic and (except for astronomically
+// unlikely collisions) never decode successfully.
+func TestDecodeGarbageProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		b, err := Decode(data)
+		return b == nil || err == nil // just must not panic; both outcomes fine
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: blocks with random field values round-trip.
+func TestEncodeDecodeProperty(t *testing.T) {
+	miner := testIdentity(3)
+	g := Genesis(2)
+	prop := func(ts uint32, after uint16, storing, recent []uint8) bool {
+		bld := NewBuilder(g, miner.Address(), time.Duration(ts)*time.Second, uint64(after), 0.125)
+		s := make([]int, len(storing))
+		for i, v := range storing {
+			s[i] = int(v)
+		}
+		rc := make([]int, len(recent))
+		for i, v := range recent {
+			rc[i] = int(v)
+		}
+		b := bld.SetStoringNodes(s).SetRecentAssignees(rc).Seal()
+		got, err := Decode(b.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Hash == b.Hash && reflect.DeepEqual(got.StoringNodes, b.StoringNodes)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package chain maintains a node's replica of the blockchain.
+//
+// The replica distinguishes *knowing* a block (having validated it and
+// linked it into the chain) from *storing* its body, which only assigned
+// nodes do (Section IV-B); storage accounting lives in the core node. The
+// replica also implements the gap detection of Section III-C: a node that
+// receives a block whose index exceeds its tip index + 1 knows exactly
+// which indices it is missing, and buffers the out-of-order block until the
+// gap is filled.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// Validation and append errors.
+var (
+	// ErrDuplicate means the block is already part of the chain.
+	ErrDuplicate = errors.New("chain: duplicate block")
+	// ErrGap means the block's index leaves a gap after the current tip;
+	// the block was buffered and the missing indices should be fetched.
+	ErrGap = errors.New("chain: gap before block")
+	// ErrStale means the block extends a shorter or equal fork and was
+	// ignored (longest-chain rule).
+	ErrStale = errors.New("chain: stale block")
+)
+
+// Chain is a single node's validated replica. It is not safe for concurrent
+// use; the simulation is single-threaded by construction.
+type Chain struct {
+	blocks  []*block.Block
+	byHash  map[block.Hash]uint64
+	pending map[uint64]*block.Block
+
+	// PreAppend, if set, can veto a block after the structural checks but
+	// before it is appended; the core layer uses it for Proof-of-Stake
+	// claim validation. prev is the block being extended.
+	PreAppend func(prev, b *block.Block) error
+	// PostAppend, if set, runs after every append (including drains and
+	// whole-chain replacement); the core layer uses it to advance the
+	// stake ledger.
+	PostAppend func(b *block.Block)
+}
+
+// New creates a replica seeded with the genesis block.
+func New(genesis *block.Block) *Chain {
+	if genesis == nil || genesis.Index != 0 {
+		panic("chain: genesis must have index 0")
+	}
+	c := &Chain{
+		blocks:  []*block.Block{genesis},
+		byHash:  map[block.Hash]uint64{genesis.Hash: 0},
+		pending: make(map[uint64]*block.Block),
+	}
+	return c
+}
+
+// Height returns the tip index (genesis = 0).
+func (c *Chain) Height() uint64 { return c.blocks[len(c.blocks)-1].Index }
+
+// Len returns the number of blocks including genesis.
+func (c *Chain) Len() int { return len(c.blocks) }
+
+// Tip returns the latest block.
+func (c *Chain) Tip() *block.Block { return c.blocks[len(c.blocks)-1] }
+
+// Genesis returns block 0.
+func (c *Chain) Genesis() *block.Block { return c.blocks[0] }
+
+// At returns the block at the given index, or nil if unknown.
+func (c *Chain) At(index uint64) *block.Block {
+	if index >= uint64(len(c.blocks)) {
+		return nil
+	}
+	return c.blocks[index]
+}
+
+// ByHash returns the block with the given hash, or nil.
+func (c *Chain) ByHash(h block.Hash) *block.Block {
+	if i, ok := c.byHash[h]; ok {
+		return c.blocks[i]
+	}
+	return nil
+}
+
+// Blocks returns the underlying slice (do not modify).
+func (c *Chain) Blocks() []*block.Block { return c.blocks }
+
+// Pending returns the number of buffered out-of-order blocks.
+func (c *Chain) Pending() int { return len(c.pending) }
+
+// MissingRange returns the indices the replica needs before the buffered
+// blocks connect, as a [from, to] inclusive range. ok is false when nothing
+// is pending.
+func (c *Chain) MissingRange() (from, to uint64, ok bool) {
+	if len(c.pending) == 0 {
+		return 0, 0, false
+	}
+	lowest := uint64(1<<63 - 1)
+	for idx := range c.pending {
+		if idx < lowest {
+			lowest = idx
+		}
+	}
+	return c.Height() + 1, lowest - 1, true
+}
+
+// Add validates and appends a block. Behaviour by case:
+//
+//   - extends the tip: validated and appended; buffered successors are then
+//     drained. Returns the number of blocks actually appended.
+//   - already known: ErrDuplicate.
+//   - index beyond tip+1: buffered, returns ErrGap (caller should fetch
+//     c.MissingRange()).
+//   - index at or below tip with a different hash: ErrStale (fork shorter
+//     than or equal to ours; longest-chain keeps ours). Use ReplaceIfLonger
+//     to adopt longer forks wholesale.
+//
+// Invalid blocks (bad hash, bad link, bad signatures) return the underlying
+// validation error and change nothing.
+func (c *Chain) Add(b *block.Block) (appended int, err error) {
+	if _, ok := c.byHash[b.Hash]; ok {
+		return 0, ErrDuplicate
+	}
+	tip := c.Tip()
+	switch {
+	case b.Index == tip.Index+1:
+		if err := b.VerifySelf(); err != nil {
+			return 0, err
+		}
+		if err := b.VerifyLink(tip); err != nil {
+			return 0, err
+		}
+		if c.PreAppend != nil {
+			if err := c.PreAppend(tip, b); err != nil {
+				return 0, err
+			}
+		}
+		c.append(b)
+		return 1 + c.drainPending(), nil
+	case b.Index > tip.Index+1:
+		if err := b.VerifySelf(); err != nil {
+			return 0, err
+		}
+		c.pending[b.Index] = b
+		return 0, fmt.Errorf("%w: have %d, got %d", ErrGap, tip.Index, b.Index)
+	default:
+		return 0, fmt.Errorf("%w: index %d at height %d", ErrStale, b.Index, tip.Index)
+	}
+}
+
+func (c *Chain) append(b *block.Block) {
+	c.blocks = append(c.blocks, b)
+	c.byHash[b.Hash] = b.Index
+	if c.PostAppend != nil {
+		c.PostAppend(b)
+	}
+}
+
+// drainPending appends any buffered blocks that now connect.
+func (c *Chain) drainPending() int {
+	n := 0
+	for {
+		next, ok := c.pending[c.Height()+1]
+		if !ok {
+			return n
+		}
+		if err := next.VerifyLink(c.Tip()); err != nil {
+			// The buffered block belongs to a different fork; drop it.
+			delete(c.pending, next.Index)
+			return n
+		}
+		if c.PreAppend != nil {
+			if err := c.PreAppend(c.Tip(), next); err != nil {
+				delete(c.pending, next.Index)
+				return n
+			}
+		}
+		delete(c.pending, next.Index)
+		c.append(next)
+		n++
+	}
+}
+
+// ReplaceIfLonger adopts a full candidate chain if it is strictly longer
+// than the local one and fully valid (the longest-chain rule for fork
+// resolution). It reports whether the replacement happened. PreAppend and
+// PostAppend hooks do NOT run; callers that track derived state (stake
+// ledger, storage view) must rebuild it after a replacement — they are the
+// only ones who can validate candidate PoS claims against a replayed
+// ledger first.
+func (c *Chain) ReplaceIfLonger(candidate []*block.Block) (bool, error) {
+	if len(candidate) <= len(c.blocks) {
+		return false, nil
+	}
+	if err := Validate(candidate); err != nil {
+		return false, fmt.Errorf("chain: reject candidate: %w", err)
+	}
+	if candidate[0].Hash != c.blocks[0].Hash {
+		return false, errors.New("chain: candidate has different genesis")
+	}
+	blocks := make([]*block.Block, len(candidate))
+	byHash := make(map[block.Hash]uint64, len(candidate))
+	copy(blocks, candidate)
+	for _, b := range blocks {
+		byHash[b.Hash] = b.Index
+	}
+	c.blocks = blocks
+	c.byHash = byHash
+	c.pending = make(map[uint64]*block.Block)
+	return true, nil
+}
+
+// Validate checks a full chain from genesis: indices, hashes, links and
+// metadata signatures.
+func Validate(blocks []*block.Block) error {
+	if len(blocks) == 0 {
+		return errors.New("chain: empty")
+	}
+	if blocks[0].Index != 0 {
+		return errors.New("chain: first block is not genesis")
+	}
+	for i, b := range blocks {
+		if err := b.VerifySelf(); err != nil {
+			return fmt.Errorf("chain: block %d: %w", i, err)
+		}
+		if i > 0 {
+			if err := b.VerifyLink(blocks[i-1]); err != nil {
+				return fmt.Errorf("chain: block %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}

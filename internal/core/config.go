@@ -1,0 +1,233 @@
+// Package core ties the substrates into the paper's edge blockchain: edge
+// nodes that generate and trade data, allocate storage with the fair and
+// efficient UFL placement (Section IV), mine blocks with the new
+// Proof-of-Stake (Section V), recover missing blocks after disconnections
+// (Section IV-D), and measure the transmission overhead, fairness and
+// delivery times that the evaluation (Section VI) reports.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/pos"
+	"repro/internal/ufl"
+	"repro/internal/workload"
+)
+
+// ConsensusAlgo selects the mining consensus.
+type ConsensusAlgo int
+
+// Consensus algorithms of the Fig. 6 comparison.
+const (
+	// ConsensusPoS is the paper's contribution-weighted Proof of Stake.
+	ConsensusPoS ConsensusAlgo = iota + 1
+	// ConsensusPoW is the Proof-of-Work baseline: same expected block
+	// interval, but every node burns HashRate hashes per second until the
+	// round is won.
+	ConsensusPoW
+)
+
+// String implements fmt.Stringer.
+func (c ConsensusAlgo) String() string {
+	switch c {
+	case ConsensusPoS:
+		return "pos"
+	case ConsensusPoW:
+		return "pow"
+	default:
+		return "unknown"
+	}
+}
+
+// PlacementStrategy selects how storing nodes are chosen.
+type PlacementStrategy int
+
+// Placement strategies of the Fig. 5 comparison.
+const (
+	// PlaceOptimal is the paper's fair-and-efficient UFL placement.
+	PlaceOptimal PlacementStrategy = iota + 1
+	// PlaceRandom stores each item on the same number of uniformly random
+	// non-full nodes (the Section VI-B baseline).
+	PlaceRandom
+)
+
+// String implements fmt.Stringer.
+func (s PlacementStrategy) String() string {
+	switch s {
+	case PlaceOptimal:
+		return "optimal"
+	case PlaceRandom:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parametrizes a simulation. DefaultConfig returns the paper's
+// Section VI setup.
+type Config struct {
+	// NumNodes is the network size (paper: 10-50).
+	NumNodes int
+	// Field is the deployment area (paper: 300 m x 300 m).
+	Field geo.Field
+	// CommRange is the radio range in meters (paper: 70).
+	CommRange float64
+	// MobilityRange is each node's wander radius in meters (paper: 30).
+	MobilityRange float64
+	// MobilityEpoch is how often nodes move; zero disables movement.
+	MobilityEpoch time.Duration
+	// StorageCapacity is per-node storage in items/blocks (paper: 250).
+	StorageCapacity int
+	// DataSize is the size of one data item in bytes (paper: 1 MB).
+	DataSize int
+	// DataRatePerMin is the network-wide data production rate in items
+	// per minute (paper: 1-3).
+	DataRatePerMin float64
+	// DataValidFor is each item's valid time (paper example: 1440 min).
+	DataValidFor time.Duration
+	// RequesterFraction of nodes issue data requests (paper: 10%).
+	RequesterFraction float64
+	// RequestsPerItem is how many requesters (drawn from the requester
+	// pool) ask for each data item ("data are requested randomly by 10
+	// percent of nodes"). Default 1.
+	RequestsPerItem int
+	// RequestSpread is the random delay after announcement within which a
+	// requester asks for a new item.
+	RequestSpread time.Duration
+	// RequestTimeout is how long a requester waits before trying the next
+	// candidate node.
+	RequestTimeout time.Duration
+	// PoS holds the mining parameters (M, t0; paper: t0 = 60 s).
+	PoS pos.Params
+	// Consensus selects the mining algorithm: the paper's PoS (default)
+	// or the PoW baseline, which burns hash work at HashRate while
+	// waiting. Network-level energy results (Results.EnergyPerNodeJ)
+	// reproduce the Fig. 6 comparison inside the full system.
+	Consensus ConsensusAlgo
+	// HashRate is the device hash rate in SHA-256/s used by the PoW
+	// energy model (default 2621 H/s: the paper's phone solves 16-bit
+	// difficulty in 25 s on average).
+	HashRate float64
+	// Energy is the device battery/energy model (default the calibrated
+	// Galaxy S8 model).
+	Energy energy.Model
+	// RadioJPerByte is the radio energy per transmitted or received byte
+	// (default 1e-6 J/B, typical 802.11 figures).
+	RadioJPerByte float64
+	// Placement selects the allocation strategy.
+	Placement PlacementStrategy
+	// Solver is the UFL solver used by optimal placement (default greedy).
+	Solver func(*ufl.Instance) (*ufl.Solution, error)
+	// MinReplicas floors the storing-node count per item.
+	MinReplicas int
+	// InitialRecentDepth is every node's starting recent-cache allowance
+	// (paper: 1, "all nodes store at least the last block"). The A2
+	// ablation sweeps it.
+	InitialRecentDepth int
+	// RecentDepthCap bounds how far the recent-cache allowance can grow
+	// through assignments; 0 disables the cap. Implements the paper's
+	// future-work note that "recent blocks storage will need the
+	// expiration to avoid using up the storage" (Section VII).
+	RecentDepthCap int
+	// StakeRescaleEvery, when positive, automatically rescales all stakes
+	// every k blocks (Section V-B's numeric-hygiene rule). All nodes apply
+	// it at the same heights, so consensus is unaffected.
+	StakeRescaleEvery uint64
+	// MigrateMaxPerBlock, when positive, lets each miner re-place up to
+	// this many drifted data items per block: the item is re-announced
+	// with a fresh storing set, newly assigned nodes fetch it (preferring
+	// the old holders as sources) and released nodes free the storage.
+	// This executes the data-migration future work of Section VII. 0
+	// disables migration (the paper's status quo).
+	MigrateMaxPerBlock int
+	// MigrateCostRatio is the drift threshold: an item migrates only when
+	// its current assignment's access cost exceeds the recomputed optimal
+	// by this factor (default 1.5), damping thrash.
+	MigrateCostRatio float64
+	// CheckpointInterval, when positive, finalizes every k-th block:
+	// nodes refuse to adopt forks that rewrite history at or below the
+	// latest checkpoint. This is the checkpoint-block defense against the
+	// nothing-at-stake problem discussed in Section V-D. 0 disables it.
+	CheckpointInterval int
+	// Net holds the radio parameters (per-hop delay, bandwidth, drops).
+	Net netsim.Config
+	// Seed drives all randomness; same seed, same run.
+	Seed int64
+	// EnableRaft runs the Raft general-consensus layer alongside the
+	// blockchain (the paper "partly use[s] the raft algorithm"), adding
+	// its message overhead to the network accounting.
+	EnableRaft bool
+	// RaftHeartbeat overrides the Raft heartbeat interval when EnableRaft
+	// is set (default 1 s — edge-scale, not datacenter-scale).
+	RaftHeartbeat time.Duration
+	// LateJoiners lists node IDs that start disconnected and join at the
+	// given times (the "new node entering the network" scenario, Fig. 3).
+	LateJoiners map[int]time.Duration
+	// Trace, when set, replaces the built-in random workload with a
+	// pre-generated one (package workload). Producers and per-item
+	// requesters come from the trace; DataRatePerMin, RequesterFraction
+	// and RequestsPerItem are ignored. Replaying one trace across
+	// configurations yields paired comparisons (used by Fig. 5).
+	Trace *workload.Trace
+}
+
+// DefaultConfig returns the paper's simulation parameters for n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		NumNodes:           n,
+		Field:              geo.DefaultField(),
+		CommRange:          70,
+		MobilityRange:      30,
+		MobilityEpoch:      30 * time.Second,
+		StorageCapacity:    250,
+		DataSize:           1 << 20,
+		DataRatePerMin:     1,
+		DataValidFor:       1440 * time.Minute,
+		RequesterFraction:  0.10,
+		RequestsPerItem:    1,
+		RequestSpread:      30 * time.Second,
+		RequestTimeout:     3 * time.Second,
+		PoS:                pos.DefaultParams(),
+		Consensus:          ConsensusPoS,
+		HashRate:           2621,
+		Energy:             energy.GalaxyS8(),
+		RadioJPerByte:      1e-6,
+		Placement:          PlaceOptimal,
+		MinReplicas:        2,
+		InitialRecentDepth: 1,
+		Net:                netsim.DefaultConfig(),
+		Seed:               1,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumNodes < 1:
+		return errors.New("core: NumNodes must be at least 1")
+	case c.CommRange <= 0:
+		return errors.New("core: CommRange must be positive")
+	case c.StorageCapacity < 1:
+		return errors.New("core: StorageCapacity must be at least 1")
+	case c.DataSize <= 0:
+		return errors.New("core: DataSize must be positive")
+	case c.DataRatePerMin < 0:
+		return errors.New("core: DataRatePerMin must be non-negative")
+	case c.RequesterFraction < 0 || c.RequesterFraction > 1:
+		return errors.New("core: RequesterFraction must be in [0, 1]")
+	case c.Placement != PlaceOptimal && c.Placement != PlaceRandom:
+		return errors.New("core: unknown placement strategy")
+	case c.Consensus != ConsensusPoS && c.Consensus != ConsensusPoW:
+		return errors.New("core: unknown consensus algorithm")
+	case c.Consensus == ConsensusPoW && c.HashRate <= 0:
+		return errors.New("core: PoW consensus requires a positive HashRate")
+	}
+	if err := c.PoS.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

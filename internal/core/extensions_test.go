@@ -1,0 +1,330 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/pos"
+)
+
+// TestCheckpointBlocksFinalizeHistory verifies the Section V-D checkpoint
+// defense: a longer fork that rewrites history at or below the latest
+// checkpoint is refused.
+func TestCheckpointBlocksFinalizeHistory(t *testing.T) {
+	cfg := quickConfig(8, 21)
+	cfg.MobilityEpoch = 0
+	cfg.DataRatePerMin = 0
+	cfg.CheckpointInterval = 3
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	victim := sys.Node(0)
+	h := victim.Chain().Height()
+	if h < 4 {
+		t.Skipf("only %d blocks mined", h)
+	}
+	cp := victim.lastCheckpoint()
+	if cp == 0 {
+		t.Fatalf("no checkpoint at height %d with interval 3", h)
+	}
+
+	// Build a fake longer chain that diverges at height 1 (below the
+	// checkpoint). PoS claims on it are self-consistent by construction:
+	// the attacker replays its own wins on a fresh ledger.
+	attacker := sys.Node(1)
+	params := sys.cfg.PoS
+	scratch := pos.NewLedger(sys.accounts)
+	fake := []*block.Block{sys.genesis}
+	for len(fake) < int(h)+3 {
+		prev := fake[len(fake)-1]
+		bval := params.AmendmentB(scratch.N(), scratch.UBar())
+		hit := params.Hit(prev, attacker.ident.Address())
+		wt := pos.TimeToMine(hit, scratch.U(1), bval)
+		if wt == pos.NeverMines {
+			t.Fatal("attacker cannot mine")
+		}
+		blk := block.NewBuilder(prev, attacker.ident.Address(),
+			prev.Timestamp+time.Duration(wt)*time.Second, wt, bval).Seal()
+		if err := scratch.ApplyBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+		fake = append(fake, blk)
+	}
+
+	before := victim.Chain().Tip().Hash
+	victim.handleChainResponse(msgChainResponse{blocks: fake})
+	if victim.Chain().Tip().Hash != before {
+		t.Fatal("checkpointed history was rewritten by a longer fork")
+	}
+
+	// Without checkpoints the same fork must be adopted (control).
+	cfg2 := cfg
+	cfg2.CheckpointInterval = 0
+	sys2, err := NewSystem(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Run(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	victim2 := sys2.Node(0)
+	if int(victim2.Chain().Height()) >= len(fake)-1 {
+		t.Skip("control chain too tall for the fake fork")
+	}
+	victim2.handleChainResponse(msgChainResponse{blocks: fake})
+	if victim2.Chain().Tip().Hash != fake[len(fake)-1].Hash {
+		t.Fatal("control: longest-chain rule did not adopt the longer fork")
+	}
+}
+
+// TestRecentDepthCap verifies the Section VII recent-cache expiration:
+// allowances stop growing at the cap.
+func TestRecentDepthCap(t *testing.T) {
+	cfg := quickConfig(8, 22)
+	cfg.MobilityEpoch = 0
+	cfg.DataRatePerMin = 0
+	cfg.RecentDepthCap = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(40 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumNodes; i++ {
+		n := sys.Node(i)
+		if d := n.recent.Depth(); d > 2 {
+			t.Fatalf("node %d recent depth %d exceeds cap 2", i, d)
+		}
+		if d := n.view.RecentDepth(i); d > 2 {
+			t.Fatalf("node %d view depth %d exceeds cap 2", i, d)
+		}
+	}
+}
+
+// TestMigrationAdvice verifies the Section VII data-migration analysis:
+// advice reflects drift between recorded and freshly computed placements,
+// and plans are well-formed.
+func TestMigrationAdvice(t *testing.T) {
+	cfg := quickConfig(12, 23)
+	cfg.DataRatePerMin = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	advice := sys.MigrationAdvice(0)
+	for _, a := range advice {
+		if a.Plan.Empty() {
+			t.Fatalf("empty plan included in advice: %+v", a)
+		}
+		for _, m := range a.Plan.Moves {
+			if m.To < 0 || m.To >= cfg.NumNodes {
+				t.Fatalf("move target out of range: %+v", m)
+			}
+		}
+	}
+	t.Logf("%d items drifted from optimal placement", len(advice))
+}
+
+// TestPoWConsensusMode verifies the Fig. 6 baseline inside the full system:
+// blocks are mined at roughly the same pace as PoS, but the hash work burns
+// orders of magnitude more energy.
+func TestPoWConsensusMode(t *testing.T) {
+	cfg := quickConfig(10, 31)
+	cfg.Consensus = ConsensusPoW
+	cfg.DataRatePerMin = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Results()
+	if res.Consensus != ConsensusPoW {
+		t.Fatalf("consensus echo = %v", res.Consensus)
+	}
+	if res.ChainHeight < 5 {
+		t.Fatalf("PoW mode mined only %d blocks in 20 min (t0=30s)", res.ChainHeight)
+	}
+	var mining float64
+	for _, j := range res.MiningEnergyJ {
+		mining += j
+	}
+	if mining <= 0 {
+		t.Fatal("no mining energy recorded")
+	}
+	// All nodes converge under PoW too.
+	tip := sys.Node(0).Chain().Tip()
+	for i := 1; i < cfg.NumNodes; i++ {
+		if sys.Node(i).Chain().Tip().Hash != tip.Hash {
+			t.Fatalf("node %d diverged under PoW", i)
+		}
+	}
+}
+
+// TestEnergyAccountingPoSVsPoW checks the in-system energy ordering.
+func TestEnergyAccountingPoSVsPoW(t *testing.T) {
+	run := func(algo ConsensusAlgo) *Results {
+		cfg := quickConfig(8, 32)
+		cfg.Consensus = algo
+		cfg.DataRatePerMin = 0
+		cfg.MobilityEpoch = 0
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(20 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Results()
+	}
+	posRes := run(ConsensusPoS)
+	powRes := run(ConsensusPoW)
+	var posJ, powJ float64
+	for i := range posRes.MiningEnergyJ {
+		posJ += posRes.MiningEnergyJ[i]
+	}
+	for i := range powRes.MiningEnergyJ {
+		powJ += powRes.MiningEnergyJ[i]
+	}
+	if powJ <= posJ {
+		t.Fatalf("PoW mining energy %.2f J not above PoS %.2f J", powJ, posJ)
+	}
+	if posRes.EnergyPerBlockJ <= 0 || powRes.EnergyPerBlockJ <= 0 {
+		t.Fatal("per-block energy not recorded")
+	}
+	t.Logf("PoS %.1f J vs PoW %.1f J mining energy", posJ, powJ)
+}
+
+// TestRadioEnergyScalesWithTraffic confirms radio joules follow the byte
+// counters.
+func TestRadioEnergyScalesWithTraffic(t *testing.T) {
+	cfg := quickConfig(10, 33)
+	cfg.DataRatePerMin = 3
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Results()
+	st := sys.Network().Stats()
+	for i, j := range res.RadioEnergyJ {
+		want := cfg.RadioJPerByte * float64(st.TxBytes[i]+st.RxBytes[i])
+		if j != want {
+			t.Fatalf("node %d radio energy %.3f, want %.3f", i, j, want)
+		}
+	}
+}
+
+// TestMigrationExecutes verifies the executed data-migration path: with
+// MigrateMaxPerBlock enabled, drifted items get re-announced with new
+// storing sets, new holders fetch the content and released holders free
+// their storage.
+func TestMigrationExecutes(t *testing.T) {
+	cfg := quickConfig(12, 41)
+	cfg.MigrateMaxPerBlock = 2
+	cfg.MigrateCostRatio = 1.01 // migrate on the slightest drift
+	cfg.DataRatePerMin = 3
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(40 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Results()
+	if res.Migrations == 0 {
+		t.Skip("no drift materialized under this seed")
+	}
+	// Consistency: for every live item, all nodes agree on the latest
+	// assignment, and assigned nodes hold (or are fetching) the content.
+	ref := sys.Node(0)
+	for id, it := range ref.liveItems {
+		for i := 1; i < cfg.NumNodes; i++ {
+			other := sys.Node(i).liveItems[id]
+			if other == nil {
+				continue // late propagation
+			}
+			if !sameSet(it.StoringNodes, other.StoringNodes) {
+				t.Fatalf("nodes disagree on assignment of %s: %v vs %v",
+					id.Short(), it.StoringNodes, other.StoringNodes)
+			}
+		}
+	}
+	// Released holders really freed storage: no node stores an item it is
+	// neither assigned to nor produced or consumed.
+	for i := 0; i < cfg.NumNodes; i++ {
+		node := sys.Node(i)
+		for id := range node.dataStore {
+			it := node.liveItems[id]
+			if it == nil {
+				continue
+			}
+			assigned := false
+			for _, sn := range it.StoringNodes {
+				if sn == i {
+					assigned = true
+				}
+			}
+			if !assigned {
+				t.Fatalf("node %d still stores migrated-away item %s", i, id.Short())
+			}
+		}
+	}
+	t.Logf("%d migrations executed", res.Migrations)
+}
+
+// TestMigrationDisabledByDefault confirms the paper's status quo.
+func TestMigrationDisabledByDefault(t *testing.T) {
+	cfg := quickConfig(10, 42)
+	cfg.DataRatePerMin = 3
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Results().Migrations != 0 {
+		t.Fatal("migrations ran without being enabled")
+	}
+}
+
+// TestStakeRescaleInSystem runs the Section V-B automatic rescaling inside
+// the full system: consensus must be unaffected (all nodes converge) and
+// the scale must have grown.
+func TestStakeRescaleInSystem(t *testing.T) {
+	cfg := quickConfig(8, 61)
+	cfg.MobilityEpoch = 0
+	cfg.StakeRescaleEvery = 5
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Node(0).Chain().Height() < 5 {
+		t.Skip("too few blocks")
+	}
+	if sys.Node(0).ledger.Scale() <= 1 {
+		t.Fatal("automatic rescaling never fired")
+	}
+	tip := sys.Node(0).Chain().Tip()
+	for i := 1; i < cfg.NumNodes; i++ {
+		if sys.Node(i).Chain().Tip().Hash != tip.Hash {
+			t.Fatalf("node %d diverged under stake rescaling", i)
+		}
+	}
+}

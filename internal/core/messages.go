@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/block"
+	"repro/internal/meta"
+	"repro/internal/raft"
+)
+
+// Wire messages. Every type implements netsim.Message; Kind drives the
+// per-category overhead accounting of Fig. 4(a) (metadata, blocks, data
+// requests/transfers, control traffic, raft).
+
+// msgMetadata announces a freshly produced data item (Section IV-B).
+type msgMetadata struct {
+	item *meta.Item
+}
+
+func (m msgMetadata) Size() int    { return m.item.EncodedSize() }
+func (m msgMetadata) Kind() string { return "meta" }
+
+// msgBlock broadcasts a newly mined block.
+type msgBlock struct {
+	blk *block.Block
+}
+
+func (m msgBlock) Size() int    { return m.blk.EncodedSize() }
+func (m msgBlock) Kind() string { return "block" }
+
+// msgDataRequest asks a storing node for a data item (Section IV-D).
+type msgDataRequest struct {
+	id  meta.DataID
+	seq uint64
+}
+
+func (m msgDataRequest) Size() int    { return 80 }
+func (m msgDataRequest) Kind() string { return "ctrl" }
+
+// msgDataResponse carries the actual data item back to the requester.
+type msgDataResponse struct {
+	id       meta.DataID
+	seq      uint64
+	dataSize int
+}
+
+func (m msgDataResponse) Size() int    { return m.dataSize + 64 }
+func (m msgDataResponse) Kind() string { return "data" }
+
+// msgDataNack tells the requester this node cannot serve the item, so it
+// can try the next candidate without waiting for the timeout.
+type msgDataNack struct {
+	id  meta.DataID
+	seq uint64
+}
+
+func (m msgDataNack) Size() int    { return 48 }
+func (m msgDataNack) Kind() string { return "ctrl" }
+
+// msgDataPull is the storing node proactively fetching the data item from
+// its producer after a block assigned it ("data dissemination" overhead).
+type msgDataPull struct {
+	id  meta.DataID
+	seq uint64
+}
+
+func (m msgDataPull) Size() int    { return 80 }
+func (m msgDataPull) Kind() string { return "ctrl" }
+
+// msgBlockRangeRequest asks for block bodies in [from, to] (missing-block
+// recovery, Section IV-D).
+type msgBlockRangeRequest struct {
+	from, to uint64
+}
+
+func (m msgBlockRangeRequest) Size() int    { return 64 }
+func (m msgBlockRangeRequest) Kind() string { return "ctrl" }
+
+// msgBlockRangeResponse returns the subset of requested blocks the sender
+// stores.
+type msgBlockRangeResponse struct {
+	blocks []*block.Block
+}
+
+func (m msgBlockRangeResponse) Size() int {
+	total := 32
+	for _, b := range m.blocks {
+		total += b.EncodedSize()
+	}
+	return total
+}
+func (m msgBlockRangeResponse) Kind() string { return "block" }
+
+// msgChainRequest asks a peer for its full chain (fork resolution and
+// new-node sync; this mirrors Naivechain, the paper's code base, which
+// responds to conflicts by transferring the whole chain).
+type msgChainRequest struct{}
+
+func (m msgChainRequest) Size() int    { return 48 }
+func (m msgChainRequest) Kind() string { return "ctrl" }
+
+// msgChainResponse carries a full chain.
+type msgChainResponse struct {
+	blocks []*block.Block
+}
+
+func (m msgChainResponse) Size() int {
+	total := 32
+	for _, b := range m.blocks {
+		total += b.EncodedSize()
+	}
+	return total
+}
+func (m msgChainResponse) Kind() string { return "block" }
+
+// msgRaft wraps a Raft RPC for transport over the simulated radio network.
+type msgRaft struct {
+	rm *raft.Message
+}
+
+func (m msgRaft) Size() int    { return m.rm.WireSize() }
+func (m msgRaft) Kind() string { return "raft" }

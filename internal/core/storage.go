@@ -1,0 +1,199 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/block"
+	"repro/internal/meta"
+)
+
+// StorageView is a node's chain-derived picture of every node's storage
+// usage. Because all assignments (data items, block bodies, recent-block
+// allowances) are recorded in blocks, every node independently derives the
+// same view — this is the "current network situations (storage used of
+// each node)" input the paper feeds into the placement problem.
+//
+// used(i) = live data assignments + block-body assignments
+//   - min(recent depth, chain height): the recent FIFO holds at most
+//     depth blocks and cannot hold more blocks than exist.
+//
+// Data assignments are tracked per item so a re-announcement (migration,
+// Section VII) replaces the old assignment instead of double counting.
+// Assignments expire with their item's valid time and are removed lazily
+// against the simulation clock.
+type StorageView struct {
+	capacity     int
+	initialDepth int
+	depthCap     int // 0 = unlimited
+	dataLive     []int
+	blockBodies  []int
+	recentDepth  []int
+	height       uint64
+	assignments  map[meta.DataID][]int
+	expiries     expiryHeap
+	expired      map[meta.DataID]bool
+	mobility     []float64
+}
+
+// NewStorageView creates the view for n nodes of the given capacity and
+// mobility range. initialDepth is every node's starting recent-cache
+// allowance (the paper uses 1: every node caches at least the last block);
+// depthCap bounds allowance growth (0 = unlimited).
+func NewStorageView(n, capacity int, mobilityRange float64, initialDepth, depthCap int) *StorageView {
+	if initialDepth < 1 {
+		initialDepth = 1
+	}
+	v := &StorageView{
+		capacity:     capacity,
+		initialDepth: initialDepth,
+		depthCap:     depthCap,
+		dataLive:     make([]int, n),
+		blockBodies:  make([]int, n),
+		recentDepth:  make([]int, n),
+		assignments:  make(map[meta.DataID][]int),
+		expired:      make(map[meta.DataID]bool),
+		mobility:     make([]float64, n),
+	}
+	for i := range v.recentDepth {
+		v.recentDepth[i] = initialDepth
+		v.mobility[i] = mobilityRange
+	}
+	return v
+}
+
+type expiry struct {
+	at time.Duration
+	id meta.DataID
+}
+
+type expiryHeap []expiry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiry)) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// ApplyBlock folds one adopted block's assignments into the view.
+func (v *StorageView) ApplyBlock(b *block.Block) {
+	for _, it := range b.Items {
+		v.applyItem(it)
+	}
+	for _, n := range b.StoringNodes {
+		if n >= 0 && n < len(v.blockBodies) {
+			v.blockBodies[n]++
+		}
+	}
+	for _, n := range b.RecentAssignees {
+		if n >= 0 && n < len(v.recentDepth) {
+			if v.depthCap == 0 || v.recentDepth[n] < v.depthCap {
+				v.recentDepth[n]++
+			}
+		}
+	}
+	if b.Index > v.height {
+		v.height = b.Index
+	}
+}
+
+func (v *StorageView) applyItem(it *meta.Item) {
+	if v.expired[it.ID] {
+		return // re-announcement of an already-expired item: ignore
+	}
+	prev, known := v.assignments[it.ID]
+	if known {
+		// Migration: replace the previous assignment.
+		for _, n := range prev {
+			if n >= 0 && n < len(v.dataLive) && v.dataLive[n] > 0 {
+				v.dataLive[n]--
+			}
+		}
+	}
+	assigned := make([]int, 0, len(it.StoringNodes))
+	for _, n := range it.StoringNodes {
+		if n >= 0 && n < len(v.dataLive) {
+			v.dataLive[n]++
+			assigned = append(assigned, n)
+		}
+	}
+	v.assignments[it.ID] = assigned
+	if !known && it.ValidFor > 0 {
+		heap.Push(&v.expiries, expiry{at: it.ExpiresAt(), id: it.ID})
+	}
+}
+
+// Rebuild replays a whole chain into a fresh view (fork adoption).
+func (v *StorageView) Rebuild(blocks []*block.Block) {
+	for i := range v.dataLive {
+		v.dataLive[i] = 0
+		v.blockBodies[i] = 0
+		v.recentDepth[i] = v.initialDepth
+	}
+	v.height = 0
+	v.expiries = v.expiries[:0]
+	v.assignments = make(map[meta.DataID][]int)
+	v.expired = make(map[meta.DataID]bool)
+	for _, b := range blocks {
+		if b.Index == 0 {
+			continue
+		}
+		v.ApplyBlock(b)
+	}
+}
+
+// expire drops data assignments past their valid time.
+func (v *StorageView) expire(now time.Duration) {
+	for len(v.expiries) > 0 && v.expiries[0].at < now {
+		e := heap.Pop(&v.expiries).(expiry)
+		for _, n := range v.assignments[e.id] {
+			if n >= 0 && n < len(v.dataLive) && v.dataLive[n] > 0 {
+				v.dataLive[n]--
+			}
+		}
+		delete(v.assignments, e.id)
+		v.expired[e.id] = true
+	}
+}
+
+// Assignment returns the current storing nodes of an item (nil if unknown
+// or expired). The returned slice must not be modified.
+func (v *StorageView) Assignment(id meta.DataID) []int { return v.assignments[id] }
+
+// Used returns node i's storage usage at the given time.
+func (v *StorageView) Used(i int, now time.Duration) int {
+	v.expire(now)
+	recent := v.recentDepth[i]
+	if h := int(v.height); recent > h && h >= 0 {
+		if h == 0 {
+			recent = 0
+		} else {
+			recent = h
+		}
+	}
+	return v.dataLive[i] + v.blockBodies[i] + recent
+}
+
+// NodeStates builds the planner input for the current moment.
+func (v *StorageView) NodeStates(now time.Duration) []alloc.NodeState {
+	v.expire(now)
+	out := make([]alloc.NodeState, len(v.dataLive))
+	for i := range out {
+		out[i] = alloc.NodeState{
+			Used:          v.Used(i, now),
+			Capacity:      v.capacity,
+			MobilityRange: v.mobility[i],
+		}
+	}
+	return out
+}
+
+// RecentDepth returns node i's recent-cache allowance.
+func (v *StorageView) RecentDepth(i int) int { return v.recentDepth[i] }

@@ -1,0 +1,117 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := GalaxyS8().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{CapacityJoules: 0, BasePowerWatts: 1, HashEnergyJoules: 1},
+		{CapacityJoules: 1, BasePowerWatts: -1, HashEnergyJoules: 1},
+		{CapacityJoules: 1, BasePowerWatts: 1, HashEnergyJoules: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d validated", i)
+		}
+	}
+}
+
+func TestBlockEnergy(t *testing.T) {
+	m := Model{CapacityJoules: 1000, BasePowerWatts: 2, HashEnergyJoules: 0.001}
+	got := m.BlockEnergy(10, 5000)
+	want := 2.0*10 + 0.001*5000
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BlockEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestBatteryDrain(t *testing.T) {
+	b, err := NewBattery(Model{CapacityJoules: 100, BasePowerWatts: 1, HashEnergyJoules: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RemainingPercent() != 100 {
+		t.Fatalf("fresh battery at %v%%", b.RemainingPercent())
+	}
+	if !b.Drain(40) {
+		t.Fatal("drain to 60% reported empty")
+	}
+	if b.RemainingPercent() != 60 {
+		t.Fatalf("remaining %v%%, want 60", b.RemainingPercent())
+	}
+	if b.Drain(100) {
+		t.Fatal("over-drain reported charge left")
+	}
+	if !b.Empty() || b.RemainingJoules() != 0 {
+		t.Fatal("battery must clamp at zero")
+	}
+}
+
+func TestBatteryNegativeDrainIgnored(t *testing.T) {
+	b, err := NewBattery(Model{CapacityJoules: 100, BasePowerWatts: 1, HashEnergyJoules: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Drain(-50)
+	if b.RemainingPercent() != 100 {
+		t.Fatal("negative drain charged the battery")
+	}
+}
+
+func TestNewBatteryRejectsBadModel(t *testing.T) {
+	if _, err := NewBattery(Model{}); err == nil {
+		t.Fatal("zero model accepted")
+	}
+}
+
+// The calibration must reproduce the paper's headline numbers: ~4 PoW
+// blocks and ~11 PoS blocks per 1% of a Galaxy S8 battery at 25 s mean
+// block time, i.e. PoS uses roughly 64% less energy per block.
+func TestCalibrationMatchesPaper(t *testing.T) {
+	m := GalaxyS8()
+	onePercent := m.CapacityJoules / 100
+
+	powPerBlock := m.BlockEnergy(25, 1<<16) // expected hashes at 16-bit difficulty
+	posPerBlock := m.BlockEnergy(25, 26)    // 1 hit hash + 1 check/s
+
+	powBlocks := onePercent / powPerBlock
+	posBlocks := onePercent / posPerBlock
+	if powBlocks < 3.4 || powBlocks > 4.6 {
+		t.Fatalf("PoW blocks per 1%% = %.2f, want ≈ 4 (paper)", powBlocks)
+	}
+	if posBlocks < 9.5 || posBlocks > 12.5 {
+		t.Fatalf("PoS blocks per 1%% = %.2f, want ≈ 11 (paper)", posBlocks)
+	}
+	saving := 1 - posPerBlock/powPerBlock
+	if saving < 0.55 || saving > 0.75 {
+		t.Fatalf("PoS energy saving = %.0f%%, want ≈ 64%% (paper)", saving*100)
+	}
+	t.Logf("PoW %.2f blocks/%%, PoS %.2f blocks/%%, saving %.0f%%", powBlocks, posBlocks, saving*100)
+}
+
+func TestBatteryString(t *testing.T) {
+	b, err := NewBattery(GalaxyS8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := b.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDrainBlock(t *testing.T) {
+	m := Model{CapacityJoules: 1000, BasePowerWatts: 1, HashEnergyJoules: 0.01}
+	b, err := NewBattery(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DrainBlock(10, 1000) // 10 + 10 = 20 J
+	if got := b.RemainingJoules(); math.Abs(got-980) > 1e-9 {
+		t.Fatalf("remaining %v, want 980", got)
+	}
+}

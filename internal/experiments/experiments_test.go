@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Short-duration sweeps keep unit tests fast; the bench harness and
+// cmd/figures run the paper-scale 500-minute versions.
+
+func TestFig4ShapesHold(t *testing.T) {
+	rows, err := RunFig4(Fig4Config{
+		NodeCounts: []int{10, 30},
+		Rates:      []float64{1, 3},
+		Duration:   60 * time.Minute,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byKey := map[[2]int]Fig4Row{}
+	for _, r := range rows {
+		if r.ChainHeight == 0 {
+			t.Fatalf("no blocks mined: %+v", r)
+		}
+		if r.Gini < 0 || r.Gini > PaperGiniBound+0.2 {
+			t.Fatalf("gini %v out of plausible range: %+v", r.Gini, r)
+		}
+		if r.DeliverySec <= 0 || r.DeliverySec > 10 {
+			t.Fatalf("delivery %v s implausible: %+v", r.DeliverySec, r)
+		}
+		if r.AvgTxMB <= 0 {
+			t.Fatalf("no transmission recorded: %+v", r)
+		}
+		byKey[[2]int{r.Nodes, int(r.RatePerMin)}] = r
+	}
+	// Shape: more data means more total traffic at fixed node count.
+	if byKey[[2]int{30, 3}].AvgTxMB <= byKey[[2]int{30, 1}].AvgTxMB {
+		t.Errorf("avg tx did not grow with data rate: %+v vs %+v",
+			byKey[[2]int{30, 3}], byKey[[2]int{30, 1}])
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig4PerNodeOverheadDecreasesWithSize(t *testing.T) {
+	// Shape from Section VI-A: "decreasing on average overhead per node
+	// when more nodes are presented" at a fixed data rate.
+	rows, err := RunFig4(Fig4Config{
+		NodeCounts: []int{10, 50},
+		Rates:      []float64{2},
+		Duration:   120 * time.Minute,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].AvgTxMB >= rows[0].AvgTxMB {
+		t.Fatalf("per-node overhead did not decrease: n=10 %.1f MB, n=50 %.1f MB",
+			rows[0].AvgTxMB, rows[1].AvgTxMB)
+	}
+	t.Logf("n=10: %.1f MB/node, n=50: %.1f MB/node", rows[0].AvgTxMB, rows[1].AvgTxMB)
+}
+
+func TestFig5OptimalBeatsRandom(t *testing.T) {
+	// Full paper duration: shorter runs have too few deliveries (~80) to
+	// separate the strategies from noise. The comparison is trace-paired.
+	rows, err := RunFig5(Fig5Config{
+		NodeCounts: []int{20},
+		Duration:   500 * time.Minute,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.OptDeliveries == 0 || r.RandDeliveries == 0 {
+		t.Fatalf("missing deliveries: %+v", r)
+	}
+	// Headline claim: optimal placement delivers faster than random.
+	if r.DeliveryRatio >= 1.0 {
+		t.Fatalf("optimal placement not faster: ratio %.2f (%+v)", r.DeliveryRatio, r)
+	}
+	// And the message overhead stays comparable (paper: "almost the same").
+	if r.OverheadRatio < 0.5 || r.OverheadRatio > 1.5 {
+		t.Fatalf("overhead ratio %.2f not comparable: %+v", r.OverheadRatio, r)
+	}
+	t.Logf("delivery ratio %.2f (paper ≈ 0.85), overhead ratio %.2f (paper ≈ 1)",
+		r.DeliveryRatio, r.OverheadRatio)
+	var buf bytes.Buffer
+	PrintFig5(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig6ReproducesEnergyClaims(t *testing.T) {
+	res, err := RunFig6(Fig6Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoWBlocksPerPercent < 3 || res.PoWBlocksPerPercent > 5.2 {
+		t.Fatalf("PoW blocks per 1%% = %.2f, paper ≈ 4", res.PoWBlocksPerPercent)
+	}
+	if res.PoSBlocksPerPercent < 9 || res.PoSBlocksPerPercent > 13.5 {
+		t.Fatalf("PoS blocks per 1%% = %.2f, paper ≈ 11", res.PoSBlocksPerPercent)
+	}
+	if res.EnergySaving < 0.55 || res.EnergySaving > 0.75 {
+		t.Fatalf("energy saving %.0f%%, paper ≈ 64%%", res.EnergySaving*100)
+	}
+	// The PoW battery trace must fall strictly faster than PoS.
+	lastPoW := res.PoW[len(res.PoW)-1]
+	if lastPoW.Blocks < len(res.PoS)-1 && lastPoW.Percent > 1 {
+		t.Fatalf("PoW trace ended early without draining: %+v", lastPoW)
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("PoW %.2f blk/%%, PoS %.2f blk/%%, saving %.0f%%",
+		res.PoWBlocksPerPercent, res.PoSBlocksPerPercent, res.EnergySaving*100)
+}
+
+func TestFig6RealHashing(t *testing.T) {
+	// Real SHA-256 mining at reduced difficulty, scaled block count.
+	res, err := RunFig6(Fig6Config{Seed: 2, Blocks: 30, DifficultyBits: 14, RealHashing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PoW) < 31 {
+		t.Fatalf("PoW mined only %d blocks", len(res.PoW)-1)
+	}
+	if res.EnergySaving <= 0 {
+		t.Fatalf("no energy saving with real hashing: %+v", res)
+	}
+}
+
+func TestFDCWeightAblation(t *testing.T) {
+	rows, err := RunFDCWeightAblation([]float64{1, 1000}, 15, 40*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Gini < 0 || r.Gini > 1 {
+			t.Fatalf("gini out of range: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFDCWeightAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRaftHeartbeatAblation(t *testing.T) {
+	rows, err := RunRaftHeartbeatAblation(
+		[]time.Duration{500 * time.Millisecond, 2 * time.Second}, 8, 5*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].AppendEntries <= rows[1].AppendEntries {
+		t.Fatalf("faster heartbeat did not send more AppendEntries: %+v", rows)
+	}
+	if rows[0].TotalBytes == 0 {
+		t.Fatal("no raft bytes recorded")
+	}
+	var buf bytes.Buffer
+	PrintRaftHeartbeatAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestUFLSolverAblation(t *testing.T) {
+	rows, err := RunUFLSolverAblation(12, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanRatio < 1-1e-9 {
+			t.Fatalf("%s beat the exact optimum: %+v", r.Solver, r)
+		}
+		if r.MeanRatio > 2 {
+			t.Fatalf("%s mean ratio %.3f implausibly bad", r.Solver, r.MeanRatio)
+		}
+	}
+	if _, err := RunUFLSolverAblation(100, 1, 1); err == nil {
+		t.Fatal("oversized exact instance accepted")
+	}
+	var buf bytes.Buffer
+	PrintUFLSolverAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRecentCacheAblation(t *testing.T) {
+	rows, err := RunRecentCacheAblation([]int{1, 8}, 12, 30*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The outage node must end close to the network height.
+		if r.FinalHeightGap > 3 || r.FinalHeightGap < -3 {
+			t.Fatalf("depth %d: recovery failed, height gap %d", r.Depth, r.FinalHeightGap)
+		}
+	}
+	var buf bytes.Buffer
+	PrintRecentCacheAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestConsensusEnergyAblation(t *testing.T) {
+	rows, err := RunConsensusEnergyAblation(12, 30*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	posRow, powRow := rows[0], rows[1]
+	if posRow.Blocks == 0 || powRow.Blocks == 0 {
+		t.Fatalf("missing blocks: %+v", rows)
+	}
+	// PoW must burn far more mining energy per block (paper: PoS saves
+	// ~64%; in-network with radio overhead the gap stays large).
+	if powRow.MiningJ < 10*posRow.MiningJ {
+		t.Fatalf("PoW mining energy %.1f J not dominating PoS %.1f J", powRow.MiningJ, posRow.MiningJ)
+	}
+	var buf bytes.Buffer
+	PrintConsensusEnergyAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("PoS %.1f J mining, PoW %.1f J mining over %d/%d blocks",
+		posRow.MiningJ, powRow.MiningJ, posRow.Blocks, powRow.Blocks)
+}
+
+func TestMigrationAblation(t *testing.T) {
+	rows, err := RunMigrationAblation(15, 60*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	off, on := rows[0], rows[1]
+	if off.Migrations != 0 {
+		t.Fatalf("baseline ran %d migrations", off.Migrations)
+	}
+	if on.Migrations == 0 {
+		t.Skip("no drift materialized under this seed")
+	}
+	// Migration must not make placement worse.
+	if on.Drift > off.Drift*1.1 {
+		t.Fatalf("migration worsened drift: %.3f -> %.3f", off.Drift, on.Drift)
+	}
+	var buf bytes.Buffer
+	PrintMigrationAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("drift without migration %.3f, with %.3f (%d migrations)", off.Drift, on.Drift, on.Migrations)
+}

@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, 0}, Point{0, 4}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return Dist(a, b) == Dist(b, a) && Dist(a, b) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldContainsAndClamp(t *testing.T) {
+	f := DefaultField()
+	if !f.Contains(Point{0, 0}) || !f.Contains(Point{300, 300}) {
+		t.Error("field must contain corners")
+	}
+	if f.Contains(Point{-1, 10}) || f.Contains(Point{10, 301}) {
+		t.Error("field must not contain outside points")
+	}
+	got := f.Clamp(Point{-50, 400})
+	if got != (Point{0, 300}) {
+		t.Errorf("Clamp = %v, want (0, 300)", got)
+	}
+}
+
+func TestRandomPointInField(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if p := f.RandomPoint(rng); !f.Contains(p) {
+			t.Fatalf("RandomPoint %v outside field", p)
+		}
+	}
+}
+
+func TestPlaceNodes(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(2))
+	pl := PlaceNodes(f, 50, 30, rng)
+	if len(pl) != 50 {
+		t.Fatalf("got %d placements, want 50", len(pl))
+	}
+	for i, p := range pl {
+		if !f.Contains(p.Home) {
+			t.Errorf("node %d home %v outside field", i, p.Home)
+		}
+		if p.Range != 30 {
+			t.Errorf("node %d range = %v, want 30", i, p.Range)
+		}
+	}
+}
+
+func TestRandomOffsetWithinRange(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(3))
+	pl := Placement{Home: Point{150, 150}, Range: 30}
+	for i := 0; i < 1000; i++ {
+		p := pl.RandomOffset(f, rng)
+		if d := Dist(pl.Home, p); d > 30+1e-9 {
+			t.Fatalf("offset %v at distance %v > range 30", p, d)
+		}
+	}
+}
+
+func TestRandomOffsetClampedToField(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(4))
+	pl := Placement{Home: Point{0, 0}, Range: 50}
+	for i := 0; i < 1000; i++ {
+		if p := pl.RandomOffset(f, rng); !f.Contains(p) {
+			t.Fatalf("offset %v outside field", p)
+		}
+	}
+}
+
+func TestPlaceNodesConnected(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{10, 20, 30, 50} {
+		pl, err := PlaceNodesConnected(f, n, 30, 70, rng, 500)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !layoutConnected(pl, 70) {
+			t.Fatalf("n=%d: returned layout not connected", n)
+		}
+	}
+}
+
+func TestPlaceNodesConnectedTrivialCases(t *testing.T) {
+	f := DefaultField()
+	rng := rand.New(rand.NewSource(6))
+	if pl, err := PlaceNodesConnected(f, 0, 30, 70, rng, 10); err != nil || len(pl) != 0 {
+		t.Fatalf("n=0: pl=%v err=%v", pl, err)
+	}
+	if pl, err := PlaceNodesConnected(f, 1, 30, 70, rng, 10); err != nil || len(pl) != 1 {
+		t.Fatalf("n=1: pl=%v err=%v", pl, err)
+	}
+}
+
+func TestPlaceNodesConnectedImpossible(t *testing.T) {
+	// Zero radio range can never connect more than one node.
+	f := Field{Width: 1e6, Height: 1e6}
+	rng := rand.New(rand.NewSource(7))
+	if _, err := PlaceNodesConnected(f, 5, 0, 0, rng, 5); err == nil {
+		t.Fatal("expected error for zero comm range")
+	}
+}
+
+func TestPlaceNodesConnectedSparse(t *testing.T) {
+	// The growth fallback must connect even extremely sparse densities.
+	f := Field{Width: 1e5, Height: 1e5}
+	rng := rand.New(rand.NewSource(8))
+	pl, err := PlaceNodesConnected(f, 20, 5, 50, rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !layoutConnected(pl, 50) {
+		t.Fatal("sparse layout not connected")
+	}
+}
+
+func TestLayoutConnectedDisconnected(t *testing.T) {
+	pl := []Placement{
+		{Home: Point{0, 0}},
+		{Home: Point{10, 0}},
+		{Home: Point{1000, 0}},
+	}
+	if layoutConnected(pl, 70) {
+		t.Fatal("layout with isolated node reported connected")
+	}
+	if !layoutConnected(pl[:2], 70) {
+		t.Fatal("close pair reported disconnected")
+	}
+}

@@ -1,0 +1,139 @@
+package identity
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAndSignVerify(t *testing.T) {
+	id, err := Generate(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("metadata item payload")
+	sig := id.Sign(msg)
+	if err := Verify(id.PublicKey(), id.Address(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	id := GenerateSeeded(mrand.New(mrand.NewSource(1)))
+	msg := []byte("original")
+	sig := id.Sign(msg)
+	if err := Verify(id.PublicKey(), id.Address(), []byte("tampered"), sig); err == nil {
+		t.Fatal("tampered message verified")
+	}
+}
+
+func TestVerifyRejectsWrongAddress(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	a, b := GenerateSeeded(rng), GenerateSeeded(rng)
+	msg := []byte("payload")
+	sig := a.Sign(msg)
+	if err := Verify(a.PublicKey(), b.Address(), msg, sig); err == nil {
+		t.Fatal("signature verified against mismatched address")
+	}
+}
+
+func TestVerifyRejectsShortKey(t *testing.T) {
+	id := GenerateSeeded(mrand.New(mrand.NewSource(3)))
+	if err := Verify(id.PublicKey()[:10], id.Address(), []byte("x"), []byte("y")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestGenerateSeededDeterministic(t *testing.T) {
+	a := GenerateSeeded(mrand.New(mrand.NewSource(42)))
+	b := GenerateSeeded(mrand.New(mrand.NewSource(42)))
+	if a.Address() != b.Address() {
+		t.Fatal("same seed produced different identities")
+	}
+	c := GenerateSeeded(mrand.New(mrand.NewSource(43)))
+	if a.Address() == c.Address() {
+		t.Fatal("different seeds produced identical identities")
+	}
+}
+
+func TestAddressRoundTrip(t *testing.T) {
+	id := GenerateSeeded(mrand.New(mrand.NewSource(4)))
+	addr := id.Address()
+	parsed, err := ParseAddress(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != addr {
+		t.Fatal("address did not round-trip through hex")
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	if _, err := ParseAddress("zz"); err == nil {
+		t.Fatal("invalid hex accepted")
+	}
+	if _, err := ParseAddress("abcd"); err == nil {
+		t.Fatal("short address accepted")
+	}
+}
+
+func TestAddressIsZeroAndShort(t *testing.T) {
+	var zero Address
+	if !zero.IsZero() {
+		t.Fatal("zero address not IsZero")
+	}
+	id := GenerateSeeded(mrand.New(mrand.NewSource(5)))
+	if id.Address().IsZero() {
+		t.Fatal("real address IsZero")
+	}
+	if len(id.Address().Short()) != 8 {
+		t.Fatalf("Short() = %q, want 8 hex chars", id.Address().Short())
+	}
+}
+
+// Property: any message signed by an identity verifies, and flipping any
+// byte of the signature fails verification.
+func TestSignVerifyProperty(t *testing.T) {
+	id := GenerateSeeded(mrand.New(mrand.NewSource(6)))
+	prop := func(msg []byte, flipAt uint8) bool {
+		sig := id.Sign(msg)
+		if Verify(id.PublicKey(), id.Address(), msg, sig) != nil {
+			return false
+		}
+		bad := append([]byte(nil), sig...)
+		bad[int(flipAt)%len(bad)] ^= 0xff
+		return Verify(id.PublicKey(), id.Address(), msg, bad) != nil
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: mrand.New(mrand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: addresses are uniformly spread (sanity: the top byte of many
+// random addresses is not constant). Guards against accidentally hashing a
+// constant instead of the key.
+func TestAddressSpread(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(8))
+	seen := make(map[byte]bool)
+	for i := 0; i < 64; i++ {
+		id := GenerateSeeded(rng)
+		seen[id.Address()[0]] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct leading bytes in 64 addresses", len(seen))
+	}
+}
+
+// Addresses interpreted as big integers should be usable as hash inputs in
+// the PoS layer; ensure they are non-degenerate.
+func TestAddressAsInteger(t *testing.T) {
+	id := GenerateSeeded(mrand.New(mrand.NewSource(9)))
+	addr := id.Address()
+	n := new(big.Int).SetBytes(addr[:])
+	if n.Sign() == 0 {
+		t.Fatal("address integer is zero")
+	}
+}

@@ -1,0 +1,274 @@
+// Package livenode runs the edge blockchain over real TCP sockets and the
+// wall clock, the way the paper's original deployment ran Node.js
+// processes in Docker containers. It reuses the exact same chain, PoS,
+// metadata and allocation code as the simulation; only the transport
+// (package p2p) and the clock differ.
+//
+// Simplifications relative to the simulated System (documented in
+// DESIGN.md): peers form a full TCP mesh, so the placement problem runs on
+// a 1-hop clique topology where the Fairness Degree Cost drives storing
+// decisions; membership (the account roster) is fixed at genesis, as in
+// the paper's private-blockchain evaluation; and all nodes share a genesis
+// wall-clock epoch, standing in for synchronized clocks.
+package livenode
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/identity"
+	"repro/internal/meta"
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/pos"
+)
+
+// Config configures one live node.
+type Config struct {
+	// Identity is this node's key pair; its address must appear in
+	// Accounts.
+	Identity *identity.Identity
+	// Accounts is the fixed roster; index k is node ID k.
+	Accounts []identity.Address
+	// PoS holds the mining parameters. Live demos typically use a short
+	// T0 (a few seconds).
+	PoS pos.Params
+	// GenesisSeed must match across the deployment.
+	GenesisSeed int64
+	// Epoch is the shared wall-clock zero; block timestamps are measured
+	// from it. All nodes must use the same value.
+	Epoch time.Time
+	// ListenAddr is the TCP listen address ("127.0.0.1:0" for ephemeral).
+	ListenAddr string
+	// StorageCapacity is the per-node storage in items (default 250).
+	StorageCapacity int
+	// OnBlock, if set, is called after each adopted block (any goroutine).
+	OnBlock func(b *block.Block)
+	// OnData, if set, is called when requested data content arrives.
+	OnData func(id meta.DataID, content []byte)
+}
+
+// Node is a live blockchain node.
+type Node struct {
+	cfg     Config
+	selfIdx int
+	net     *p2p.Node
+
+	mu        sync.Mutex
+	ch        *chain.Chain
+	ledger    *pos.Ledger
+	view      *StorageViewLite
+	planner   *alloc.Planner
+	topo      *netsim.Topology
+	pool      map[meta.DataID]*meta.Item
+	data      map[meta.DataID][]byte
+	mineTimer *time.Timer
+	closed    bool
+	onData    func(id meta.DataID, content []byte)
+}
+
+// StorageViewLite tracks chain-derived per-node storage usage for the
+// clique placement (a thin wrapper so livenode does not depend on the
+// simulation core).
+type StorageViewLite struct {
+	capacity int
+	used     []int
+}
+
+func newViewLite(n, capacity int) *StorageViewLite {
+	return &StorageViewLite{capacity: capacity, used: make([]int, n)}
+}
+
+func (v *StorageViewLite) apply(b *block.Block) {
+	credit := func(ns []int) {
+		for _, i := range ns {
+			if i >= 0 && i < len(v.used) {
+				v.used[i]++
+			}
+		}
+	}
+	for _, it := range b.Items {
+		credit(it.StoringNodes)
+	}
+	credit(b.StoringNodes)
+	credit(b.RecentAssignees)
+}
+
+func (v *StorageViewLite) reset() {
+	for i := range v.used {
+		v.used[i] = 0
+	}
+}
+
+func (v *StorageViewLite) states() []alloc.NodeState {
+	out := make([]alloc.NodeState, len(v.used))
+	for i, u := range v.used {
+		out[i] = alloc.NodeState{Used: u, Capacity: v.capacity}
+	}
+	return out
+}
+
+// New starts a node listening on cfg.ListenAddr.
+func New(cfg Config) (*Node, error) {
+	if cfg.Identity == nil {
+		return nil, errors.New("livenode: missing identity")
+	}
+	if err := cfg.PoS.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StorageCapacity == 0 {
+		cfg.StorageCapacity = 250
+	}
+	selfIdx := -1
+	for i, a := range cfg.Accounts {
+		if a == cfg.Identity.Address() {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, errors.New("livenode: identity not in account roster")
+	}
+	n := &Node{
+		cfg:     cfg,
+		selfIdx: selfIdx,
+		ledger:  pos.NewLedger(cfg.Accounts),
+		view:    newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
+		planner: alloc.NewPlanner(1),
+		pool:    make(map[meta.DataID]*meta.Item),
+		data:    make(map[meta.DataID][]byte),
+		onData:  cfg.OnData,
+	}
+	// Clique topology: every pair 1 hop (full TCP mesh).
+	positions := make([]geo.Point, len(cfg.Accounts))
+	n.topo = netsim.NewTopology(positions, 1, nil)
+
+	n.ch = chain.New(block.Genesis(cfg.GenesisSeed))
+	n.ch.PreAppend = n.preAppend
+	n.ch.PostAppend = n.postAppend
+
+	p2pNode, err := p2p.Listen(cfg.ListenAddr, p2p.HandlerFunc(n.handleFrame))
+	if err != nil {
+		return nil, err
+	}
+	n.net = p2pNode
+
+	n.mu.Lock()
+	n.scheduleMiningLocked()
+	n.mu.Unlock()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.net.Addr() }
+
+// Connect dials peers and requests their chains.
+func (n *Node) Connect(addrs ...string) error {
+	for _, a := range addrs {
+		if err := n.net.Connect(a); err != nil {
+			return err
+		}
+	}
+	// Small grace for the handshake, then sync.
+	time.Sleep(50 * time.Millisecond)
+	n.net.Broadcast(p2p.FrameChainRequest, nil)
+	return nil
+}
+
+// Height returns the chain height.
+func (n *Node) Height() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch.Height()
+}
+
+// Tip returns the current tip block.
+func (n *Node) Tip() *block.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch.Tip()
+}
+
+// HasData reports whether the node holds the content for id.
+func (n *Node) HasData(id meta.DataID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.data[id]
+	return ok
+}
+
+// BlockHashAt returns the hash of the block at height h, if known.
+func (n *Node) BlockHashAt(h uint64) (block.Hash, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b := n.ch.At(h)
+	if b == nil {
+		return block.Hash{}, false
+	}
+	return b.Hash, true
+}
+
+// HasItemOnChain reports whether an item with the given ID is recorded in
+// the node's chain replica.
+func (n *Node) HasItemOnChain(id meta.DataID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, b := range n.ch.Blocks() {
+		for _, it := range b.Items {
+			if it.ID == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SetOnData installs (or replaces) the data-arrival callback.
+func (n *Node) SetOnData(fn func(id meta.DataID, content []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onData = fn
+}
+
+// Close stops mining and networking.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	if n.mineTimer != nil {
+		n.mineTimer.Stop()
+	}
+	n.mu.Unlock()
+	return n.net.Close()
+}
+
+// now returns the current time as an offset from the shared epoch.
+func (n *Node) now() time.Duration { return time.Since(n.cfg.Epoch) }
+
+// Publish creates a data item from content, stores it locally, and
+// broadcasts the signed metadata.
+func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, error) {
+	it := &meta.Item{
+		ID:           meta.HashData(content),
+		Type:         typ,
+		Produced:     n.now(),
+		LocationName: locationName,
+		DataSize:     len(content),
+	}
+	it.Sign(n.cfg.Identity)
+	n.mu.Lock()
+	n.pool[it.ID] = it
+	n.data[it.ID] = append([]byte(nil), content...)
+	n.mu.Unlock()
+	n.net.Broadcast(p2p.FrameMeta, it.Encode())
+	return it, nil
+}
+
+// RequestData asks all peers for a data item; the first holder to respond
+// wins and OnData fires.
+func (n *Node) RequestData(id meta.DataID) {
+	n.net.Broadcast(p2p.FrameDataRequest, id[:])
+}

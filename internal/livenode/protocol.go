@@ -1,0 +1,292 @@
+package livenode
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/meta"
+	"repro/internal/p2p"
+	"repro/internal/pos"
+)
+
+// --- chain hooks -----------------------------------------------------------
+
+// preAppend validates PoS claims against the ledger state as of the
+// parent. Called with n.mu held (all chain mutations happen under it).
+func (n *Node) preAppend(prev, b *block.Block) error {
+	// Clock-skew tolerance for real deployments.
+	if b.Timestamp > n.now()+2*time.Second {
+		return errTimestampFuture
+	}
+	return n.cfg.PoS.ValidateClaim(prev, b, n.ledger)
+}
+
+var errTimestampFuture = errors.New("livenode: block timestamp in the future")
+
+// postAppend applies side effects of an adopted block (n.mu held).
+func (n *Node) postAppend(b *block.Block) {
+	if err := n.ledger.ApplyBlock(b); err != nil {
+		panic("livenode: ledger apply: " + err.Error())
+	}
+	n.view.apply(b)
+	for _, it := range b.Items {
+		delete(n.pool, it.ID)
+		// If assigned to store and lacking content, fetch it.
+		for _, sn := range it.StoringNodes {
+			if sn == n.selfIdx {
+				if _, have := n.data[it.ID]; !have {
+					id := it.ID
+					go n.RequestData(id)
+				}
+			}
+		}
+	}
+	if cb := n.cfg.OnBlock; cb != nil {
+		go cb(b)
+	}
+}
+
+// --- mining ------------------------------------------------------------------
+
+// scheduleMiningLocked arms the wall-clock mining timer (n.mu held).
+func (n *Node) scheduleMiningLocked() {
+	if n.mineTimer != nil {
+		n.mineTimer.Stop()
+		n.mineTimer = nil
+	}
+	if n.closed {
+		return
+	}
+	prev := n.ch.Tip()
+	bval := n.cfg.PoS.AmendmentB(n.ledger.N(), n.ledger.UBar())
+	hit := n.cfg.PoS.Hit(prev, n.cfg.Identity.Address())
+	t := pos.TimeToMine(hit, n.ledger.U(n.selfIdx), bval)
+	if t == pos.NeverMines {
+		return
+	}
+	fireAt := n.cfg.Epoch.Add(prev.Timestamp + time.Duration(t)*time.Second)
+	delay := time.Until(fireAt)
+	if delay < 0 {
+		delay = 0
+	}
+	prevHash := prev.Hash
+	n.mineTimer = time.AfterFunc(delay, func() { n.mine(prevHash, t, bval) })
+}
+
+// mine assembles and broadcasts the next block if the round is still open.
+func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
+	n.mu.Lock()
+	prev := n.ch.Tip()
+	if n.closed || prev.Hash != prevHash {
+		n.mu.Unlock()
+		return
+	}
+	bld := block.NewBuilder(prev, n.cfg.Identity.Address(), n.now(), minedAfter, bval)
+	states := n.view.states()
+	for _, it := range n.pool {
+		if it.Expired(n.now()) {
+			delete(n.pool, it.ID)
+			continue
+		}
+		pl, err := n.planner.Place(n.topo, states)
+		if err != nil {
+			continue
+		}
+		packed := it.Clone()
+		packed.StoringNodes = pl.StoringNodes
+		bld.AddItem(packed)
+		for _, sn := range pl.StoringNodes {
+			states[sn].Used++
+		}
+	}
+	if pl, err := n.planner.Place(n.topo, states); err == nil {
+		bld.SetStoringNodes(pl.StoringNodes)
+		for _, sn := range pl.StoringNodes {
+			states[sn].Used++
+		}
+	}
+	if pl, err := n.planner.Place(n.topo, states); err == nil {
+		bld.SetRecentAssignees(pl.StoringNodes)
+	}
+	bld.SetPrevStoringNodes(prev.StoringNodes)
+	blk := bld.Seal()
+	if _, err := n.ch.Add(blk); err != nil {
+		// Should not happen for our own block; drop the round and re-arm.
+		n.scheduleMiningLocked()
+		n.mu.Unlock()
+		return
+	}
+	n.scheduleMiningLocked()
+	n.mu.Unlock()
+	n.net.Broadcast(p2p.FrameBlock, blk.Encode())
+}
+
+// --- frame handling -----------------------------------------------------------
+
+func (n *Node) handleFrame(from string, ft byte, payload []byte) {
+	switch ft {
+	case p2p.FrameMeta:
+		it, err := meta.Decode(payload)
+		if err != nil || it.Verify() != nil {
+			return
+		}
+		n.mu.Lock()
+		if _, dup := n.pool[it.ID]; !dup {
+			n.pool[it.ID] = it
+		}
+		n.mu.Unlock()
+
+	case p2p.FrameBlock:
+		blk, err := block.Decode(payload)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		_, addErr := n.ch.Add(blk)
+		if addErr == nil {
+			n.scheduleMiningLocked()
+		}
+		n.mu.Unlock()
+		if addErr != nil {
+			// Gap or fork: ask the sender for its whole chain
+			// (Naivechain-style resolution).
+			n.net.Send(from, p2p.FrameChainRequest, nil)
+		}
+
+	case p2p.FrameChainRequest:
+		n.mu.Lock()
+		payload := encodeChain(n.ch.Blocks())
+		n.mu.Unlock()
+		n.net.Send(from, p2p.FrameChain, payload)
+
+	case p2p.FrameChain:
+		blocks, err := decodeChain(payload)
+		if err != nil {
+			return
+		}
+		n.adoptChain(blocks)
+
+	case p2p.FrameDataRequest:
+		if len(payload) != len(meta.DataID{}) {
+			return
+		}
+		var id meta.DataID
+		copy(id[:], payload)
+		n.mu.Lock()
+		content, ok := n.data[id]
+		n.mu.Unlock()
+		if ok {
+			resp := make([]byte, len(id)+len(content))
+			copy(resp, id[:])
+			copy(resp[len(id):], content)
+			n.net.Send(from, p2p.FrameData, resp)
+		}
+
+	case p2p.FrameData:
+		if len(payload) < len(meta.DataID{}) {
+			return
+		}
+		var id meta.DataID
+		copy(id[:], payload)
+		content := append([]byte(nil), payload[len(id):]...)
+		// Integrity: the content must hash to its claimed ID
+		// (Section III-B2 data integrity).
+		if meta.HashData(content) != id {
+			return
+		}
+		n.mu.Lock()
+		_, dup := n.data[id]
+		if !dup {
+			n.data[id] = content
+		}
+		cb := n.onData
+		n.mu.Unlock()
+		if !dup && cb != nil {
+			cb(id, content)
+		}
+	}
+}
+
+// adoptChain validates and adopts a longer chain.
+func (n *Node) adoptChain(blocks []*block.Block) {
+	if len(blocks) == 0 {
+		return
+	}
+	// Replay claims on a scratch ledger first.
+	scratch := pos.NewLedger(n.cfg.Accounts)
+	for i := 1; i < len(blocks); i++ {
+		if err := n.cfg.PoS.ValidateClaim(blocks[i-1], blocks[i], scratch); err != nil {
+			return
+		}
+		if err := scratch.ApplyBlock(blocks[i]); err != nil {
+			return
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	replaced, err := n.ch.ReplaceIfLonger(blocks)
+	if err != nil || !replaced {
+		return
+	}
+	if err := n.ledger.Rebuild(n.ch.Blocks()); err != nil {
+		panic("livenode: ledger rebuild: " + err.Error())
+	}
+	n.view.reset()
+	for _, b := range n.ch.Blocks() {
+		if b.Index > 0 {
+			n.view.apply(b)
+		}
+	}
+	for _, b := range n.ch.Blocks() {
+		for _, it := range b.Items {
+			delete(n.pool, it.ID)
+		}
+	}
+	n.scheduleMiningLocked()
+}
+
+// encodeChain serializes a whole chain: count, then length-prefixed blocks.
+func encodeChain(blocks []*block.Block) []byte {
+	var out []byte
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], uint64(len(blocks)))
+	out = append(out, u[:]...)
+	for _, b := range blocks {
+		enc := b.Encode()
+		binary.BigEndian.PutUint64(u[:], uint64(len(enc)))
+		out = append(out, u[:]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+func decodeChain(payload []byte) ([]*block.Block, error) {
+	if len(payload) < 8 {
+		return nil, errors.New("livenode: short chain payload")
+	}
+	count := binary.BigEndian.Uint64(payload[:8])
+	if count > 1<<20 {
+		return nil, errors.New("livenode: absurd chain length")
+	}
+	payload = payload[8:]
+	blocks := make([]*block.Block, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(payload) < 8 {
+			return nil, errors.New("livenode: truncated chain")
+		}
+		size := binary.BigEndian.Uint64(payload[:8])
+		payload = payload[8:]
+		if uint64(len(payload)) < size {
+			return nil, errors.New("livenode: truncated block")
+		}
+		b, err := block.Decode(payload[:size])
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+		payload = payload[size:]
+	}
+	return blocks, nil
+}

@@ -1,0 +1,273 @@
+// Package meta implements metadata items (Section III-B).
+//
+// A metadata item is the small record stored in blocks in place of the
+// actual data item. It carries the attributes from the paper's examples —
+// data type, production time, location, producer account with signature,
+// storing nodes, valid time, and free-form properties — plus the content
+// hash and size needed to fetch and verify the real data.
+//
+// The producer signs every attribute except the storing-node list: storing
+// nodes are computed by the network after the metadata is broadcast
+// (Section IV-B), so they cannot be part of the producer's signature.
+package meta
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/identity"
+)
+
+// DataID identifies a data item by the SHA-256 hash of its content.
+type DataID [sha256.Size]byte
+
+// String returns the hex form of the ID.
+func (d DataID) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns an abbreviated hex prefix for logs.
+func (d DataID) Short() string { return hex.EncodeToString(d[:4]) }
+
+// IsZero reports whether the ID is unset.
+func (d DataID) IsZero() bool { return d == DataID{} }
+
+// HashData computes the DataID for raw content.
+func HashData(content []byte) DataID { return DataID(sha256.Sum256(content)) }
+
+// Item is one metadata record. The zero value is not valid; use the
+// producer-side constructor in package core or fill the fields and Sign.
+type Item struct {
+	// ID is the content hash of the data item this metadata describes.
+	ID DataID
+	// Type is the slash-separated data type, e.g. "AirQuality/PM2.5".
+	Type string
+	// Produced is the (simulated) production time.
+	Produced time.Duration
+	// Location is where the data was produced.
+	Location geo.Point
+	// LocationName is the human-readable place, e.g. "NewYork,NY".
+	LocationName string
+	// Producer is the account of the producing node.
+	Producer identity.Address
+	// ProducerPub is the producer's public key, spread with blocks so any
+	// node can validate integrity (Section III-B2).
+	ProducerPub ed25519.PublicKey
+	// Signature is the producer's signature over SigningBytes.
+	Signature []byte
+	// StoringNodes lists the node IDs assigned to store the data item.
+	// Filled by the miner when packing the block; excluded from the
+	// producer signature.
+	StoringNodes []int
+	// ValidFor is how long the data remains valid (paper: minutes).
+	ValidFor time.Duration
+	// Properties is free-form extra information ("Camera", a public key...).
+	Properties string
+	// DataSize is the size of the actual data item in bytes.
+	DataSize int
+}
+
+var (
+	// ErrUnsigned is returned when verifying an item without a signature.
+	ErrUnsigned = errors.New("meta: item is not signed")
+	// ErrExpired is returned by ValidateAt for items past their valid time.
+	ErrExpired = errors.New("meta: item expired")
+)
+
+func putString(buf *bytes.Buffer, s string) {
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(s)))
+	buf.Write(lenb[:])
+	buf.WriteString(s)
+}
+
+func putBytes(buf *bytes.Buffer, b []byte) {
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(b)))
+	buf.Write(lenb[:])
+	buf.Write(b)
+}
+
+func putUint64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func putFloat(buf *bytes.Buffer, f float64) {
+	// Positions are non-negative field coordinates; encode the IEEE bits.
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], floatBits(f))
+	buf.Write(b[:])
+}
+
+// SigningBytes returns the canonical encoding of every producer-attested
+// field (everything except Signature and StoringNodes).
+func (it *Item) SigningBytes() []byte {
+	var buf bytes.Buffer
+	buf.Write(it.ID[:])
+	putString(&buf, it.Type)
+	putUint64(&buf, uint64(it.Produced))
+	putFloat(&buf, it.Location.X)
+	putFloat(&buf, it.Location.Y)
+	putString(&buf, it.LocationName)
+	buf.Write(it.Producer[:])
+	putBytes(&buf, it.ProducerPub)
+	putUint64(&buf, uint64(it.ValidFor))
+	putString(&buf, it.Properties)
+	putUint64(&buf, uint64(it.DataSize))
+	return buf.Bytes()
+}
+
+// Sign fills Producer, ProducerPub and Signature using the identity.
+func (it *Item) Sign(id *identity.Identity) {
+	it.Producer = id.Address()
+	it.ProducerPub = append(ed25519.PublicKey(nil), id.PublicKey()...)
+	it.Signature = id.Sign(it.SigningBytes())
+}
+
+// Verify checks the producer signature and the key/address binding.
+func (it *Item) Verify() error {
+	if len(it.Signature) == 0 {
+		return ErrUnsigned
+	}
+	if err := identity.Verify(it.ProducerPub, it.Producer, it.SigningBytes(), it.Signature); err != nil {
+		return fmt.Errorf("meta: item %s: %w", it.ID.Short(), err)
+	}
+	return nil
+}
+
+// VerifyData checks that content matches the item's content hash, proving a
+// storing node did not tamper with the data (Section III-B2).
+func (it *Item) VerifyData(content []byte) error {
+	if HashData(content) != it.ID {
+		return fmt.Errorf("meta: item %s: content hash mismatch", it.ID.Short())
+	}
+	return nil
+}
+
+// ExpiresAt returns the simulated time at which the item expires. Items
+// with zero ValidFor never expire.
+func (it *Item) ExpiresAt() time.Duration {
+	if it.ValidFor == 0 {
+		return 1<<63 - 1
+	}
+	return it.Produced + it.ValidFor
+}
+
+// Expired reports whether the item is past its valid time at now.
+func (it *Item) Expired(now time.Duration) bool { return now > it.ExpiresAt() }
+
+// ValidateAt runs both the signature check and the expiry check.
+func (it *Item) ValidateAt(now time.Duration) error {
+	if err := it.Verify(); err != nil {
+		return err
+	}
+	if it.Expired(now) {
+		return fmt.Errorf("meta: item %s: %w", it.ID.Short(), ErrExpired)
+	}
+	return nil
+}
+
+// EncodedSize is the wire size of the item in bytes, used for network
+// accounting and block-size accounting.
+func (it *Item) EncodedSize() int {
+	return len(it.Encode())
+}
+
+// Encode serializes the full item (including signature and storing nodes)
+// with the canonical binary layout.
+func (it *Item) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(it.SigningBytes())
+	putBytes(&buf, it.Signature)
+	putUint64(&buf, uint64(len(it.StoringNodes)))
+	for _, n := range it.StoringNodes {
+		putUint64(&buf, uint64(int64(n)))
+	}
+	return buf.Bytes()
+}
+
+// Decode parses an item encoded by Encode.
+func Decode(b []byte) (*Item, error) {
+	r := &reader{b: b}
+	it := &Item{}
+	r.bytes(it.ID[:])
+	it.Type = r.str()
+	it.Produced = time.Duration(r.uint64())
+	it.Location.X = r.float()
+	it.Location.Y = r.float()
+	it.LocationName = r.str()
+	r.bytes(it.Producer[:])
+	it.ProducerPub = r.blob()
+	it.ValidFor = time.Duration(r.uint64())
+	it.Properties = r.str()
+	it.DataSize = int(r.uint64())
+	it.Signature = r.blob()
+	n := int(r.uint64())
+	if r.err == nil && n > len(b) {
+		return nil, fmt.Errorf("meta: decode: absurd storing-node count %d", n)
+	}
+	if n > 0 && r.err == nil {
+		it.StoringNodes = make([]int, n)
+		for i := range it.StoringNodes {
+			it.StoringNodes[i] = int(int64(r.uint64()))
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("meta: decode: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("meta: decode: %d trailing bytes", len(b)-r.off)
+	}
+	return it, nil
+}
+
+// Clone returns a deep copy; blocks hold copies so later mutation of the
+// miner's pool cannot alter chained content.
+func (it *Item) Clone() *Item {
+	cp := *it
+	cp.ProducerPub = append(ed25519.PublicKey(nil), it.ProducerPub...)
+	cp.Signature = append([]byte(nil), it.Signature...)
+	cp.StoringNodes = append([]int(nil), it.StoringNodes...)
+	return &cp
+}
+
+// Query matches metadata items by type prefix, location radius and
+// freshness; zero fields match everything. This is how consumers "search
+// what [they] demand" in the metadata of received blocks (Section III-B1).
+type Query struct {
+	// TypePrefix matches items whose Type starts with this prefix.
+	TypePrefix string
+	// Near/WithinMeters restrict to items produced within the radius.
+	Near         geo.Point
+	WithinMeters float64
+	// ProducedAfter restricts to items produced strictly after this time.
+	ProducedAfter time.Duration
+	// Producer restricts to one producer account.
+	Producer identity.Address
+}
+
+// Matches reports whether the item satisfies every set constraint.
+func (q Query) Matches(it *Item) bool {
+	if q.TypePrefix != "" && !hasPrefix(it.Type, q.TypePrefix) {
+		return false
+	}
+	if q.WithinMeters > 0 && geo.Dist(q.Near, it.Location) > q.WithinMeters {
+		return false
+	}
+	if q.ProducedAfter > 0 && it.Produced <= q.ProducedAfter {
+		return false
+	}
+	if !q.Producer.IsZero() && it.Producer != q.Producer {
+		return false
+	}
+	return true
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

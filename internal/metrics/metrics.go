@@ -1,0 +1,119 @@
+// Package metrics provides the statistics the evaluation section reports:
+// the Gini coefficient for storage fairness (footnote 3), and summary
+// statistics over delivery-time and overhead samples.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Gini computes the Gini coefficient of the values:
+//
+//	G = Σ_i Σ_j |t_i − t_j| / (2 n Σ_j t_j)
+//
+// 0 means perfectly even, 1 maximally uneven. The paper reports storage
+// disparity below 0.15 for its allocation (Fig. 4b). All-zero input
+// returns 0 (perfectly even).
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	// O(n log n) form over sorted values.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	cum := 0.0
+	for i, v := range sorted {
+		cum += v * float64(2*(i+1)-n-1)
+	}
+	return cum / (float64(n) * sum)
+}
+
+// GiniInts is Gini over integer counts (storage items per node).
+func GiniInts(values []int) float64 {
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return Gini(f)
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	Count int
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+}
+
+// Summarize computes a Summary over the samples. An empty input returns a
+// zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   percentile(sorted, 0.50),
+		P95:   percentile(sorted, 0.95),
+	}
+}
+
+// percentile reads the p-quantile from sorted samples with nearest-rank
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// DeliverySamples collects data-delivery latencies.
+type DeliverySamples struct {
+	durations []time.Duration
+}
+
+// Add records one delivery.
+func (d *DeliverySamples) Add(dur time.Duration) { d.durations = append(d.durations, dur) }
+
+// Count returns the number of samples.
+func (d *DeliverySamples) Count() int { return len(d.durations) }
+
+// Seconds returns the samples in seconds.
+func (d *DeliverySamples) Seconds() []float64 {
+	out := make([]float64, len(d.durations))
+	for i, v := range d.durations {
+		out[i] = v.Seconds()
+	}
+	return out
+}
+
+// Summary summarizes the samples in seconds.
+func (d *DeliverySamples) Summary() Summary { return Summarize(d.Seconds()) }

@@ -1,0 +1,286 @@
+// Package p2p is a small TCP transport for running the edge blockchain as
+// real processes, mirroring the paper's original deployment ("each node
+// runs a blockchain system in the container and communicates with others
+// using standard socket communication").
+//
+// The wire protocol is length-prefixed frames over TCP:
+//
+//	[4-byte big-endian length][1-byte frame type][payload]
+//
+// Peers form a full mesh (the paper's private-blockchain scale of tens of
+// nodes). Connect performs a handshake exchanging listen addresses so both
+// sides can identify and deduplicate peers.
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Frame types.
+const (
+	// FrameHello carries the sender's listen address (handshake).
+	FrameHello byte = iota + 1
+	// FrameBlock carries one encoded block.
+	FrameBlock
+	// FrameMeta carries one encoded metadata item.
+	FrameMeta
+	// FrameChainRequest asks the peer for its full chain.
+	FrameChainRequest
+	// FrameChain carries a full chain (count + length-prefixed blocks).
+	FrameChain
+	// FrameDataRequest carries a 32-byte data ID.
+	FrameDataRequest
+	// FrameData carries a 32-byte data ID followed by the content.
+	FrameData
+)
+
+// MaxFrameSize bounds a single frame (64 MiB) against corrupt length
+// prefixes.
+const MaxFrameSize = 64 << 20
+
+// Handler receives inbound frames. from is the peer's listen address.
+// Calls are serialized: the node holds its handler lock while dispatching,
+// so implementations need no extra synchronization against each other.
+type Handler interface {
+	HandleFrame(from string, frameType byte, payload []byte)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from string, frameType byte, payload []byte)
+
+// HandleFrame implements Handler.
+func (f HandlerFunc) HandleFrame(from string, frameType byte, payload []byte) {
+	f(from, frameType, payload)
+}
+
+// Node is one transport endpoint.
+type Node struct {
+	ln      net.Listener
+	handler Handler
+
+	mu       sync.Mutex
+	peers    map[string]*peer // keyed by remote listen address
+	closed   bool
+	dispatch sync.Mutex // serializes handler calls
+
+	wg sync.WaitGroup
+}
+
+type peer struct {
+	addr    string
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+// Listen starts a node on addr (use "127.0.0.1:0" for an ephemeral port).
+func Listen(addr string, h Handler) (*Node, error) {
+	if h == nil {
+		return nil, errors.New("p2p: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	n := &Node{ln: ln, handler: h, peers: make(map[string]*peer)}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Peers returns the listen addresses of connected peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for a := range n.peers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Close shuts the node down and waits for all connection goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	err := n.ln.Close()
+	for _, p := range n.peers {
+		p.conn.Close()
+	}
+	n.peers = make(map[string]*peer)
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn, "")
+	}
+}
+
+// Connect dials a peer, performs the hello handshake and starts reading.
+// Connecting to an already-connected peer is a no-op.
+func (n *Node) Connect(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("p2p: node closed")
+	}
+	if _, ok := n.peers[addr]; ok || addr == n.Addr() {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	if err := writeFrame(conn, FrameHello, []byte(n.Addr())); err != nil {
+		conn.Close()
+		return fmt.Errorf("p2p: hello: %w", err)
+	}
+	n.wg.Add(1)
+	go n.serveConn(conn, addr)
+	return nil
+}
+
+// register adds the peer if new; returns false (and closes nothing) when a
+// connection to that address already exists.
+func (n *Node) register(addr string, conn net.Conn) (*peer, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, false
+	}
+	if _, ok := n.peers[addr]; ok {
+		return nil, false
+	}
+	p := &peer{addr: addr, conn: conn}
+	n.peers[addr] = p
+	return p, true
+}
+
+func (n *Node) unregister(addr string, conn net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.peers[addr]; ok && p.conn == conn {
+		delete(n.peers, addr)
+	}
+}
+
+// serveConn reads frames from a connection. For inbound connections the
+// peer address is learned from the hello frame; for outbound ones it is
+// known at dial time.
+func (n *Node) serveConn(conn net.Conn, peerAddr string) {
+	defer n.wg.Done()
+	defer conn.Close()
+
+	if peerAddr == "" {
+		// Inbound: first frame must be the hello.
+		ft, payload, err := readFrame(conn)
+		if err != nil || ft != FrameHello {
+			return
+		}
+		peerAddr = string(payload)
+		// Reply with our own hello so the dialer path stays symmetric for
+		// future peer-exchange extensions.
+	}
+	if _, ok := n.register(peerAddr, conn); !ok {
+		return // duplicate connection or node closed
+	}
+	defer n.unregister(peerAddr, conn)
+
+	for {
+		ft, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if ft == FrameHello {
+			continue
+		}
+		n.dispatch.Lock()
+		n.handler.HandleFrame(peerAddr, ft, payload)
+		n.dispatch.Unlock()
+	}
+}
+
+// Send writes one frame to a specific peer.
+func (n *Node) Send(peerAddr string, frameType byte, payload []byte) error {
+	n.mu.Lock()
+	p, ok := n.peers[peerAddr]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("p2p: unknown peer %s", peerAddr)
+	}
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	return writeFrame(p.conn, frameType, payload)
+}
+
+// Broadcast writes one frame to every connected peer; per-peer errors drop
+// that peer's connection but do not abort the broadcast.
+func (n *Node) Broadcast(frameType byte, payload []byte) {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.writeMu.Lock()
+		err := writeFrame(p.conn, frameType, payload)
+		p.writeMu.Unlock()
+		if err != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+func writeFrame(w io.Writer, frameType byte, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return fmt.Errorf("p2p: frame of %d bytes exceeds cap", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = frameType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(lenb[:])
+	if size == 0 || size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("p2p: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}

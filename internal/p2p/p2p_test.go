@@ -1,0 +1,237 @@
+package p2p
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects frames thread-safely.
+type recorder struct {
+	mu     sync.Mutex
+	frames []recorded
+}
+
+type recorded struct {
+	from    string
+	ft      byte
+	payload []byte
+}
+
+func (r *recorder) HandleFrame(from string, ft byte, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames = append(r.frames, recorded{from, ft, append([]byte(nil), payload...)})
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.frames)
+}
+
+func (r *recorder) last() (recorded, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.frames) == 0 {
+		return recorded{}, false
+	}
+	return r.frames[len(r.frames)-1], true
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}
+
+func newPair(t *testing.T) (*Node, *recorder, *Node, *recorder) {
+	t.Helper()
+	ra, rb := &recorder{}, &recorder{}
+	a, err := Listen("127.0.0.1:0", ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Listen("127.0.0.1:0", rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return len(a.Peers()) == 1 && len(b.Peers()) == 1
+	})
+	return a, ra, b, rb
+}
+
+func TestConnectAndSend(t *testing.T) {
+	a, _, b, rb := newPair(t)
+	if err := a.Send(b.Addr(), FrameMeta, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return rb.count() == 1 })
+	got, _ := rb.last()
+	if got.ft != FrameMeta || !bytes.Equal(got.payload, []byte("hello")) {
+		t.Fatalf("got %+v", got)
+	}
+	if got.from != a.Addr() {
+		t.Fatalf("from = %s, want %s", got.from, a.Addr())
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, ra, b, _ := newPair(t)
+	// The inbound side can also send back over the same link.
+	if err := b.Send(a.Addr(), FrameBlock, []byte("resp")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return ra.count() == 1 })
+	got, _ := ra.last()
+	if got.ft != FrameBlock || got.from != b.Addr() {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBroadcastReachesAllPeers(t *testing.T) {
+	hub, _ := &recorder{}, 0
+	center, err := Listen("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { center.Close() })
+
+	const n = 4
+	recs := make([]*recorder, n)
+	for i := 0; i < n; i++ {
+		recs[i] = &recorder{}
+		leaf, err := Listen("127.0.0.1:0", recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { leaf.Close() })
+		if err := leaf.Connect(center.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(center.Peers()) == n })
+	center.Broadcast(FrameMeta, []byte("to-everyone"))
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestDuplicateConnectIsNoop(t *testing.T) {
+	a, _, b, _ := newPair(t)
+	for i := 0; i < 3; i++ {
+		if err := a.Connect(b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(a.Peers()) != 1 || len(b.Peers()) != 1 {
+		t.Fatalf("peer counts: a=%d b=%d, want 1,1", len(a.Peers()), len(b.Peers()))
+	}
+}
+
+func TestSelfConnectIgnored(t *testing.T) {
+	r := &recorder{}
+	a, err := Listen("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	if err := a.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Peers()) != 0 {
+		t.Fatal("node connected to itself")
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	r := &recorder{}
+	a, err := Listen("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	if err := a.Send("10.0.0.1:1234", FrameMeta, nil); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsTraffic(t *testing.T) {
+	a, _, b, rb := newPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// b should notice the peer drop.
+	waitFor(t, 2*time.Second, func() bool { return len(b.Peers()) == 0 })
+	if rb.count() != 0 {
+		t.Fatal("unexpected frames")
+	}
+	if err := a.Connect(b.Addr()); err == nil {
+		t.Fatal("closed node accepted Connect")
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	a, _, b, rb := newPair(t)
+	payload := make([]byte, 1<<20) // 1 MiB data item
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := a.Send(b.Addr(), FrameData, payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return rb.count() == 1 })
+	got, _ := rb.last()
+	if !bytes.Equal(got.payload, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	a, _, b, _ := newPair(t)
+	err := a.Send(b.Addr(), FrameData, make([]byte, MaxFrameSize))
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestManyFramesInOrder(t *testing.T) {
+	a, _, b, rb := newPair(t)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(b.Addr(), FrameMeta, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return rb.count() == count })
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	for i, f := range rb.frames {
+		if want := fmt.Sprintf("m%03d", i); string(f.payload) != want {
+			t.Fatalf("frame %d = %q, want %q (reordered?)", i, f.payload, want)
+		}
+	}
+}

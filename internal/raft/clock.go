@@ -1,0 +1,17 @@
+package raft
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SimClock adapts the discrete-event engine to the raft Clock interface.
+type SimClock struct {
+	Engine *sim.Engine
+}
+
+// After implements Clock.
+func (c SimClock) After(d time.Duration, fn func()) Timer {
+	return c.Engine.Schedule(d, fn)
+}

@@ -1,0 +1,178 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components share a single Engine that owns the virtual
+// clock. Events are executed in (time, sequence) order, so two runs of the
+// same program with the same seeds produce bit-identical schedules. The
+// engine is intentionally single-threaded: handlers run on the caller's
+// goroutine during Run, which keeps the whole simulation free of data races
+// without any locking in simulated components.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly
+// before reaching the run horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. Events are ordered by At, with Seq breaking
+// ties in scheduling order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// canceled marks timer events that were stopped before firing.
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler with a virtual clock.
+// The zero value is ready to use.
+type Engine struct {
+	queue   eventQueue
+	now     time.Duration
+	seq     uint64
+	stopped bool
+	// processed counts events executed by Run; useful in tests and for
+	// detecting runaway simulations.
+	processed uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued (including
+// canceled timers that have not yet been drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Timer identifies a scheduled event that can be stopped before it fires.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (i.e. the callback will not run). Stopping an already-fired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev.fn = nil
+	return true
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero: the event fires at the current time but after all events already
+// scheduled for that time.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Stop aborts a Run in progress (or makes the next Run return immediately).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes queued events until the queue is empty or virtual time would
+// exceed until. Events scheduled exactly at until are executed. It returns
+// ErrStopped if Stop was called, otherwise nil.
+func (e *Engine) Run(until time.Duration) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > until {
+			// Do not pop: leave future events queued, advance clock to horizon.
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		if next.at < e.now {
+			// Impossible by construction; guard against heap corruption.
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", next.at, e.now))
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.processed++
+		fn()
+	}
+	if until > e.now && until != math.MaxInt64 {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains, with no time horizon.
+func (e *Engine) RunAll() error { return e.Run(math.MaxInt64) }
+
+// Step executes exactly one pending event (skipping canceled timers) and
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	delays := []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second}
+	for _, d := range delays {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := append([]time.Duration(nil), delays...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-time events must run FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestEngineHorizonLeavesFutureEventsQueued(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(time.Second, func() { ran++ })
+	e.Schedule(10*time.Second, func() { ran++ })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want clock advanced to horizon 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if ran != 2 || e.Now() != 10*time.Second {
+		t.Fatalf("after RunAll: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.Schedule(2*time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("times = %v, want [1s 3s]", times)
+	}
+}
+
+func TestEngineNegativeDelayRunsNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.Schedule(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop returned false for a pending timer")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestEngineStopAbortsRun(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(time.Second, func() { ran++; e.Stop() })
+	e.Schedule(2*time.Second, func() { ran++ })
+	err := e.RunAll()
+	if err != ErrStopped {
+		t.Fatalf("RunAll err = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(2*time.Second, func() {
+		e.ScheduleAt(7*time.Second, func() { at = e.Now() })
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if at != 7*time.Second {
+		t.Fatalf("absolute event at %v, want 7s", at)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(time.Second, func() { n++ })
+	e.Schedule(2*time.Second, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	var tk *Ticker
+	tk = NewTicker(e, 10*time.Second, func() {
+		fires = append(fires, e.Now())
+		if len(fires) == 3 {
+			tk.Stop()
+		}
+	})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	tk := NewTicker(e, 10*time.Second, func() { fires = append(fires, e.Now()) })
+	e.Schedule(5*time.Second, func() { tk.Reset(time.Second) })
+	// The stop event at 8s was scheduled before the ticker re-armed for 8s,
+	// so FIFO tie-breaking runs it first and the 8s tick is canceled.
+	e.Schedule(8*time.Second, func() { tk.Stop() })
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{6 * time.Second, 7 * time.Second}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock never goes backwards.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a run is deterministic — executing the same randomized schedule
+// twice yields identical event sequences.
+func TestEngineDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []time.Duration
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := rng.Intn(5)
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Millisecond
+				e.Schedule(d, func() {
+					fired = append(fired, e.Now())
+					if depth < 3 {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		if err := e.Run(time.Hour); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fired
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: event %d differs: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

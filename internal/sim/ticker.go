@@ -1,0 +1,59 @@
+package sim
+
+import "time"
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period until
+// stopped. It is the simulated analogue of time.Ticker and is used for
+// heartbeats and periodic maintenance in higher layers.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func()
+	pending *Timer
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period from
+// now. It panics if period is not positive.
+func NewTicker(e *Engine, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. It is safe to call multiple times and from
+// within the ticker callback itself.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Stop()
+	}
+}
+
+// Reset restarts the ticker with a new period, canceling the pending firing.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if t.pending != nil {
+		t.pending.Stop()
+	}
+	t.period = period
+	t.stopped = false
+	t.arm()
+}

@@ -1,0 +1,152 @@
+package ufl
+
+import (
+	"math"
+	"sort"
+)
+
+// JMS solves the instance with a Jain–Mahdian–Saberi style primal–dual
+// dual-fitting algorithm: every unconnected client j raises its dual α_j at
+// unit rate; facility i opens when the accumulated offers
+// Σ_j max(0, α_j − c_ij) reach its opening cost; a client freezes as soon
+// as its α reaches its connection cost to an open facility.
+//
+// This is the non-reassigning variant (factor 1.861); the paper cites the
+// family of UFL approximations (down to Li's 1.488) as applicable, and the
+// ablation bench compares this solver against Greedy, LocalSearch and the
+// exact optimum.
+func JMS(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	nf, nc := in.NFacilities(), in.NClients()
+	openSet := make(map[int]bool)
+	connected := make([]bool, nc)
+	remaining := nc
+
+	alpha := make([]float64, nc)
+	// For efficiency at these sizes we advance time in discrete events.
+	// Candidate event times for the current state:
+	//   (a) an active client's alpha reaches c_ij for an open facility i;
+	//   (b) a closed facility's offers reach its opening cost.
+	const eps = 1e-9
+	t := 0.0
+	for remaining > 0 {
+		// Next event (a): min over active clients j and open facilities i of
+		// c_ij (alpha_j grows to c_ij at absolute time c_ij since all active
+		// alphas equal t).
+		nextA := math.Inf(1)
+		for j := 0; j < nc; j++ {
+			if connected[j] {
+				continue
+			}
+			for i := range openSet {
+				if c := in.ConnCost[i][j]; c < nextA && c >= t-eps {
+					nextA = math.Max(c, t)
+				}
+			}
+		}
+		// Next event (b): for each closed facility, solve for the time t' at
+		// which Σ_{j active} max(0, t' − c_ij) + Σ_{j frozen} max(0, α_j − c_ij)
+		// equals f_i. The left side is piecewise linear in t'.
+		nextB := math.Inf(1)
+		bestFac := -1
+		for i := 0; i < nf; i++ {
+			if openSet[i] || math.IsInf(in.OpenCost[i], 1) {
+				continue
+			}
+			if tb := facilityOpenTime(in, i, alpha, connected, t); tb < nextB {
+				nextB = tb
+				bestFac = i
+			}
+		}
+		if math.IsInf(nextA, 1) && math.IsInf(nextB, 1) {
+			// No finite-cost facility can ever open: force fallback.
+			f := cheapestFallback(in)
+			openSet[f] = true
+			for j := range connected {
+				if !connected[j] {
+					connected[j] = true
+					remaining--
+				}
+			}
+			break
+		}
+		if nextA <= nextB {
+			t = nextA
+			// Freeze every active client whose cost to some open facility
+			// is ≤ t.
+			for j := 0; j < nc; j++ {
+				if connected[j] {
+					continue
+				}
+				alpha[j] = t
+				for i := range openSet {
+					if in.ConnCost[i][j] <= t+eps {
+						connected[j] = true
+						remaining--
+						break
+					}
+				}
+			}
+		} else {
+			t = nextB
+			openSet[bestFac] = true
+			for j := 0; j < nc; j++ {
+				if connected[j] {
+					continue
+				}
+				alpha[j] = t
+				if in.ConnCost[bestFac][j] <= t+eps {
+					connected[j] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return solutionFor(in, openSet), nil
+}
+
+// facilityOpenTime returns the earliest absolute time ≥ now at which the
+// offers to facility i cover its opening cost, or +Inf if impossible (all
+// contributing clients frozen and their fixed offers insufficient).
+func facilityOpenTime(in *Instance, i int, alpha []float64, connected []bool, now float64) float64 {
+	f := in.OpenCost[i]
+	// Fixed contribution from frozen clients.
+	fixed := 0.0
+	var activeCosts []float64
+	for j := range alpha {
+		c := in.ConnCost[i][j]
+		if connected[j] {
+			if alpha[j] > c {
+				fixed += alpha[j] - c
+			}
+		} else {
+			activeCosts = append(activeCosts, c)
+		}
+	}
+	if fixed >= f {
+		return now
+	}
+	if len(activeCosts) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(activeCosts)
+	// With k active clients contributing (those with c ≤ t'), total offer is
+	// fixed + Σ_{c_l ≤ t'} (t' − c_l). Scan breakpoints.
+	sum := 0.0
+	for k := 1; k <= len(activeCosts); k++ {
+		sum += activeCosts[k-1]
+		// Candidate t' with exactly the first k costs active:
+		tp := (f - fixed + sum) / float64(k)
+		lo := math.Max(activeCosts[k-1], now)
+		hi := math.Inf(1)
+		if k < len(activeCosts) {
+			hi = activeCosts[k]
+		}
+		if tp >= lo-1e-12 && tp <= hi+1e-12 {
+			return math.Max(tp, now)
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,294 @@
+package ufl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInstance builds a random metric-ish instance with nf facilities and
+// nc clients placed on a line (so connection costs obey the triangle
+// inequality, like the paper's hop-count RDC).
+func randomInstance(rng *rand.Rand, nf, nc int, maxOpen float64) *Instance {
+	fpos := make([]float64, nf)
+	cpos := make([]float64, nc)
+	for i := range fpos {
+		fpos[i] = rng.Float64() * 100
+	}
+	for j := range cpos {
+		cpos[j] = rng.Float64() * 100
+	}
+	in := &Instance{
+		OpenCost: make([]float64, nf),
+		ConnCost: make([][]float64, nf),
+	}
+	for i := range in.OpenCost {
+		in.OpenCost[i] = rng.Float64() * maxOpen
+		in.ConnCost[i] = make([]float64, nc)
+		for j := range in.ConnCost[i] {
+			in.ConnCost[i][j] = math.Abs(fpos[i] - cpos[j])
+		}
+	}
+	return in
+}
+
+type solver struct {
+	name string
+	fn   func(*Instance) (*Solution, error)
+}
+
+func solvers() []solver {
+	return []solver{
+		{"greedy", Greedy},
+		{"localsearch", func(in *Instance) (*Solution, error) { return LocalSearch(in, nil) }},
+		{"jms", JMS},
+	}
+}
+
+func TestSolversFeasibleOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(10), 2+rng.Intn(15), 50)
+		for _, s := range solvers() {
+			sol, err := s.fn(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.name, err)
+			}
+			if err := sol.Verify(in); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.name, err)
+			}
+		}
+	}
+}
+
+func TestSolversNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	worst := map[string]float64{}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(8), 2+rng.Intn(12), 40)
+		opt, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range solvers() {
+			sol, err := s.fn(in)
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+			ratio := sol.Cost / opt.Cost
+			if ratio < 1-1e-9 {
+				t.Fatalf("trial %d %s: cost %v below optimum %v", trial, s.name, sol.Cost, opt.Cost)
+			}
+			if ratio > worst[s.name] {
+				worst[s.name] = ratio
+			}
+		}
+	}
+	// All three have constant-factor guarantees; on these small geometric
+	// instances they should be far better than their worst cases.
+	bounds := map[string]float64{"greedy": 1.7, "localsearch": 1.35, "jms": 2.0}
+	for name, bound := range bounds {
+		if worst[name] > bound {
+			t.Errorf("%s worst ratio %.3f exceeds empirical bound %.2f", name, worst[name], bound)
+		}
+	}
+	t.Logf("worst ratios: %v", worst)
+}
+
+func TestExactSmallHandChecked(t *testing.T) {
+	// Two facilities, three clients. Opening both is optimal.
+	in := &Instance{
+		OpenCost: []float64{1, 1},
+		ConnCost: [][]float64{
+			{0, 0, 10},
+			{10, 10, 0},
+		},
+	}
+	opt, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost != 2 {
+		t.Fatalf("optimal cost = %v, want 2 (open both)", opt.Cost)
+	}
+	if len(opt.Open) != 2 {
+		t.Fatalf("open = %v, want both facilities", opt.Open)
+	}
+
+	// Expensive second facility: open only the first.
+	in.OpenCost[1] = 100
+	opt, err = Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Open) != 1 || opt.Open[0] != 0 {
+		t.Fatalf("open = %v, want [0]", opt.Open)
+	}
+	if opt.Cost != 1+0+0+10 {
+		t.Fatalf("cost = %v, want 11", opt.Cost)
+	}
+}
+
+func TestInfiniteOpenCostAvoided(t *testing.T) {
+	// Facility 0 is full (FDC = +Inf per eq. 1); everything must go to 1.
+	in := &Instance{
+		OpenCost: []float64{math.Inf(1), 5},
+		ConnCost: [][]float64{
+			{0, 0},
+			{1, 1},
+		},
+	}
+	for _, s := range solvers() {
+		sol, err := s.fn(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		for _, i := range sol.Open {
+			if i == 0 {
+				t.Fatalf("%s opened the infinite-cost facility", s.name)
+			}
+		}
+	}
+}
+
+func TestAllInfiniteFallsBack(t *testing.T) {
+	in := &Instance{
+		OpenCost: []float64{math.Inf(1), math.Inf(1)},
+		ConnCost: [][]float64{
+			{5, 5},
+			{1, 1},
+		},
+	}
+	for _, s := range solvers() {
+		sol, err := s.fn(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if len(sol.Open) != 1 || sol.Open[0] != 1 {
+			t.Fatalf("%s: open = %v, want fallback [1]", s.name, sol.Open)
+		}
+	}
+}
+
+func TestZeroOpenCostsOpenFreely(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInstance(rng, 6, 10, 0)
+	opt, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With free facilities, the optimum is every client at its nearest
+	// facility.
+	want := 0.0
+	for j := 0; j < in.NClients(); j++ {
+		best := math.Inf(1)
+		for i := 0; i < in.NFacilities(); i++ {
+			best = math.Min(best, in.ConnCost[i][j])
+		}
+		want += best
+	}
+	if math.Abs(opt.Cost-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", opt.Cost, want)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Instance{
+		{},
+		{OpenCost: []float64{1}, ConnCost: nil},
+		{OpenCost: []float64{1, 2}, ConnCost: [][]float64{{1}, {1, 2}}},
+		{OpenCost: []float64{-1}, ConnCost: [][]float64{{1}}},
+		{OpenCost: []float64{math.NaN()}, ConnCost: [][]float64{{1}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("instance %d validated", i)
+		}
+	}
+}
+
+func TestVerifyCatchesBadSolutions(t *testing.T) {
+	in := &Instance{
+		OpenCost: []float64{1, 1},
+		ConnCost: [][]float64{{0, 1}, {1, 0}},
+	}
+	good, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Solution{
+		"no open":       {Open: nil, Assign: []int{0, 0}, Cost: 0},
+		"closed assign": {Open: []int{0}, Assign: []int{0, 1}, Cost: 2},
+		"out of range":  {Open: []int{5}, Assign: []int{5, 5}, Cost: 0},
+		"cost mismatch": {Open: good.Open, Assign: good.Assign, Cost: good.Cost + 5},
+		"wrong arity":   {Open: good.Open, Assign: good.Assign[:1], Cost: good.Cost},
+	}
+	for name, sol := range cases {
+		if err := sol.Verify(in); err == nil {
+			t.Errorf("%s verified", name)
+		}
+	}
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomInstance(rng, MaxExactFacilities+1, 3, 10)
+	if _, err := Exact(in); err == nil {
+		t.Fatal("Exact accepted an oversized instance")
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInstance(rng, 8, 20, 30)
+	a, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || len(a.Open) != len(b.Open) {
+		t.Fatal("greedy not deterministic")
+	}
+	for i := range a.Open {
+		if a.Open[i] != b.Open[i] {
+			t.Fatal("greedy open sets differ between runs")
+		}
+	}
+}
+
+func TestLocalSearchNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(7), 3+rng.Intn(12), 60)
+		start, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polished, err := LocalSearch(in, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if polished.Cost > start.Cost+1e-9 {
+			t.Fatalf("trial %d: local search worsened %v -> %v", trial, start.Cost, polished.Cost)
+		}
+	}
+}
+
+func TestSingleFacilitySingleClient(t *testing.T) {
+	in := &Instance{OpenCost: []float64{3}, ConnCost: [][]float64{{2}}}
+	for _, s := range solvers() {
+		sol, err := s.fn(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if sol.Cost != 5 {
+			t.Fatalf("%s: cost = %v, want 5", s.name, sol.Cost)
+		}
+	}
+}
