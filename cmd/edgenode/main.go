@@ -28,9 +28,11 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/core"
 	"repro/internal/identity"
 	"repro/internal/livenode"
 	"repro/internal/pos"
+	"repro/internal/store"
 )
 
 func main() {
@@ -45,6 +47,8 @@ func main() {
 		genesis    = flag.Int64("genesis", 42, "genesis seed (must match across the deployment)")
 		epochUnix  = flag.Int64("epoch", 0, "shared epoch as unix seconds (must match; default: now, fine for the first node)")
 		publish    = flag.Duration("publish", 0, "publish a demo data item this often (0 = never)")
+		dataDir    = flag.String("data-dir", "", "directory for the durable block WAL and data store (empty = in-memory)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always|batch|none")
 	)
 	flag.Parse()
 
@@ -63,6 +67,22 @@ func main() {
 		epoch = time.Unix(*epochUnix, 0)
 	}
 
+	var nodeStore core.Store
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := store.Open(*dataDir, store.Options{Sync: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := len(st.RecoveredBlocks()); n > 0 {
+			log.Printf("recovered %d blocks from %s", n, *dataDir)
+		}
+		nodeStore = st
+	}
+
 	params := pos.DefaultParams()
 	params.T0 = *t0
 	node, err := livenode.New(livenode.Config{
@@ -72,6 +92,7 @@ func main() {
 		GenesisSeed: *genesis,
 		Epoch:       epoch,
 		ListenAddr:  *listen,
+		Store:       nodeStore,
 		OnBlock: func(b *block.Block) {
 			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
 		},

@@ -185,6 +185,30 @@ func (c *Chain) drainPending() int {
 	}
 }
 
+// AppendTrusted appends a block verifying only the link to the current
+// tip (index, previous hash, timestamp monotonicity, PoSHash chaining),
+// skipping the content re-verification of VerifySelf. It exists for
+// replaying locally-persisted blocks whose content integrity the store
+// has already established (WAL record CRC plus hash checks); network
+// blocks must go through Add. PreAppend and PostAppend hooks run as for a
+// normal append.
+func (c *Chain) AppendTrusted(b *block.Block) error {
+	if _, ok := c.byHash[b.Hash]; ok {
+		return ErrDuplicate
+	}
+	tip := c.Tip()
+	if err := b.VerifyLink(tip); err != nil {
+		return err
+	}
+	if c.PreAppend != nil {
+		if err := c.PreAppend(tip, b); err != nil {
+			return err
+		}
+	}
+	c.append(b)
+	return nil
+}
+
 // ReplaceIfLonger adopts a full candidate chain if it is strictly longer
 // than the local one and fully valid (the longest-chain rule for fork
 // resolution). It reports whether the replacement happened. PreAppend and

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/meta"
+)
+
+// Store abstracts a node's durable persistence: the block log that
+// survives restarts and the content-addressed data-item bytes. The live
+// stack (internal/livenode, cmd/edgenode) plugs in internal/store's
+// disk-backed implementation; simulations and tests use MemStore, which
+// keeps the original purely-in-memory behaviour.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// RecoveredBlocks returns the blocks recovered at open time in index
+	// order (never including genesis); the caller replays them into its
+	// chain replica. In-memory stores return nil.
+	RecoveredBlocks() []*block.Block
+	// AppendBlock durably appends one adopted block.
+	AppendBlock(b *block.Block) error
+	// ResetChain replaces the whole persisted chain (fork adoption);
+	// genesis is excluded.
+	ResetChain(blocks []*block.Block) error
+	// Checkpoint records the chain head + height so the next open can
+	// replay incrementally.
+	Checkpoint(height uint64, head block.Hash) error
+
+	// PutData stores a data item's content under its content hash.
+	PutData(id meta.DataID, content []byte) error
+	// GetData returns a data item's content.
+	GetData(id meta.DataID) ([]byte, bool)
+	// HasData reports whether the item's content is held.
+	HasData(id meta.DataID) bool
+	// PruneData removes items for which expired returns true.
+	PruneData(expired func(meta.DataID) bool) (int, error)
+
+	// Close releases the store.
+	Close() error
+}
+
+// MemStore is the in-memory Store used by simulations and tests: data
+// items live in a map and the chain-persistence calls are no-ops, exactly
+// the pre-persistence behaviour of the live node.
+type MemStore struct {
+	mu   sync.Mutex
+	data map[meta.DataID][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[meta.DataID][]byte)}
+}
+
+// RecoveredBlocks implements Store (nothing survives a restart).
+func (s *MemStore) RecoveredBlocks() []*block.Block { return nil }
+
+// AppendBlock implements Store as a no-op.
+func (s *MemStore) AppendBlock(*block.Block) error { return nil }
+
+// ResetChain implements Store as a no-op.
+func (s *MemStore) ResetChain([]*block.Block) error { return nil }
+
+// Checkpoint implements Store as a no-op.
+func (s *MemStore) Checkpoint(uint64, block.Hash) error { return nil }
+
+// PutData stores a copy of the content.
+func (s *MemStore) PutData(id meta.DataID, content []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[id]; !ok {
+		s.data[id] = append([]byte(nil), content...)
+	}
+	return nil
+}
+
+// GetData returns the stored content.
+func (s *MemStore) GetData(id meta.DataID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	content, ok := s.data[id]
+	return content, ok
+}
+
+// HasData reports whether the item is held.
+func (s *MemStore) HasData(id meta.DataID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.data[id]
+	return ok
+}
+
+// PruneData removes expired items.
+func (s *MemStore) PruneData(expired func(meta.DataID) bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for id := range s.data {
+		if expired(id) {
+			delete(s.data, id)
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// Close implements Store as a no-op.
+func (s *MemStore) Close() error { return nil }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/block"
 	"repro/internal/chain"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/identity"
 	"repro/internal/meta"
@@ -47,6 +48,16 @@ type Config struct {
 	ListenAddr string
 	// StorageCapacity is the per-node storage in items (default 250).
 	StorageCapacity int
+	// Store is the node's persistence backend. nil means in-memory
+	// (core.NewMemStore); pass internal/store's disk-backed Store for a
+	// node that survives restarts. The node takes ownership: Close closes
+	// it. Blocks recovered by the store are replayed into the chain
+	// before the node starts listening, and the normal chain-sync path
+	// then catches up anything mined while the node was down.
+	Store core.Store
+	// CheckpointEvery checkpoints the store manifest (and prunes expired
+	// data items) every this many adopted blocks (default 32).
+	CheckpointEvery int
 	// OnBlock, if set, is called after each adopted block (any goroutine).
 	OnBlock func(b *block.Block)
 	// OnData, if set, is called when requested data content arrives.
@@ -66,7 +77,10 @@ type Node struct {
 	planner   *alloc.Planner
 	topo      *netsim.Topology
 	pool      map[meta.DataID]*meta.Item
-	data      map[meta.DataID][]byte
+	store     core.Store
+	replaying bool // WAL replay in progress: skip re-persisting/fetching
+	sinceCkpt int  // blocks adopted since the last store checkpoint
+	storeErr  error
 	mineTimer *time.Timer
 	closed    bool
 	onData    func(id meta.DataID, content []byte)
@@ -124,6 +138,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.StorageCapacity == 0 {
 		cfg.StorageCapacity = 250
 	}
+	if cfg.Store == nil {
+		cfg.Store = core.NewMemStore()
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 32
+	}
 	selfIdx := -1
 	for i, a := range cfg.Accounts {
 		if a == cfg.Identity.Address() {
@@ -140,7 +160,7 @@ func New(cfg Config) (*Node, error) {
 		view:    newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
 		planner: alloc.NewPlanner(1),
 		pool:    make(map[meta.DataID]*meta.Item),
-		data:    make(map[meta.DataID][]byte),
+		store:   cfg.Store,
 		onData:  cfg.OnData,
 	}
 	// Clique topology: every pair 1 hop (full TCP mesh).
@@ -150,6 +170,11 @@ func New(cfg Config) (*Node, error) {
 	n.ch = chain.New(block.Genesis(cfg.GenesisSeed))
 	n.ch.PreAppend = n.preAppend
 	n.ch.PostAppend = n.postAppend
+
+	// Crash recovery: replay blocks the store persisted in earlier runs
+	// before going online. Everything mined while this node was down is
+	// then caught up over the normal FrameChainRequest sync path.
+	n.replayRecovered()
 
 	p2pNode, err := p2p.Listen(cfg.ListenAddr, p2p.HandlerFunc(n.handleFrame))
 	if err != nil {
@@ -195,10 +220,17 @@ func (n *Node) Tip() *block.Block {
 
 // HasData reports whether the node holds the content for id.
 func (n *Node) HasData(id meta.DataID) bool {
+	return n.store.HasData(id)
+}
+
+// StoreErr returns the first persistence error the node swallowed while
+// adopting blocks (nil when the store is healthy). The chain replica
+// stays authoritative in memory either way; a non-nil value means the
+// next restart may recover a shorter chain than the live height.
+func (n *Node) StoreErr() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	_, ok := n.data[id]
-	return ok
+	return n.storeErr
 }
 
 // BlockHashAt returns the hash of the block at height h, if known.
@@ -234,15 +266,21 @@ func (n *Node) SetOnData(fn func(id meta.DataID, content []byte)) {
 	n.onData = fn
 }
 
-// Close stops mining and networking.
+// Close stops mining and networking, checkpoints the store and closes it.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	n.closed = true
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
 	}
+	tip := n.ch.Tip()
 	n.mu.Unlock()
-	return n.net.Close()
+	netErr := n.net.Close()
+	_ = n.store.Checkpoint(tip.Index, tip.Hash)
+	if err := n.store.Close(); err != nil && netErr == nil {
+		netErr = err
+	}
+	return netErr
 }
 
 // now returns the current time as an offset from the shared epoch.
@@ -259,9 +297,11 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 		DataSize:     len(content),
 	}
 	it.Sign(n.cfg.Identity)
+	if err := n.store.PutData(it.ID, content); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	n.pool[it.ID] = it
-	n.data[it.ID] = append([]byte(nil), content...)
 	n.mu.Unlock()
 	n.net.Broadcast(p2p.FrameMeta, it.Encode())
 	return it, nil

@@ -31,21 +31,84 @@ func (n *Node) postAppend(b *block.Block) {
 		panic("livenode: ledger apply: " + err.Error())
 	}
 	n.view.apply(b)
+	if !n.replaying {
+		// Durably log the block before acting on it; replayed blocks are
+		// already in the WAL.
+		if err := n.store.AppendBlock(b); err != nil && n.storeErr == nil {
+			n.storeErr = err
+		}
+		n.sinceCkpt++
+		if n.sinceCkpt >= n.cfg.CheckpointEvery {
+			n.sinceCkpt = 0
+			if err := n.store.Checkpoint(b.Index, b.Hash); err != nil && n.storeErr == nil {
+				n.storeErr = err
+			}
+			n.pruneExpiredLocked()
+		}
+	}
 	for _, it := range b.Items {
 		delete(n.pool, it.ID)
+		if n.replaying {
+			continue // no networking during WAL replay
+		}
 		// If assigned to store and lacking content, fetch it.
 		for _, sn := range it.StoringNodes {
 			if sn == n.selfIdx {
-				if _, have := n.data[it.ID]; !have {
+				if !n.store.HasData(it.ID) {
 					id := it.ID
 					go n.RequestData(id)
 				}
 			}
 		}
 	}
-	if cb := n.cfg.OnBlock; cb != nil {
+	if cb := n.cfg.OnBlock; cb != nil && !n.replaying {
 		go cb(b)
 	}
+}
+
+// replayRecovered replays blocks the store recovered from its WAL into
+// the chain replica, before networking starts. Each block passes the same
+// PreAppend validation as a live block (PoS claim against the replayed
+// ledger); the first failure stops the replay and rewrites the WAL to the
+// surviving prefix so the corruption cannot resurface.
+func (n *Node) replayRecovered() {
+	recovered := n.store.RecoveredBlocks()
+	if len(recovered) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.replaying = true
+	defer func() { n.replaying = false }()
+	for i, b := range recovered {
+		if err := n.ch.AppendTrusted(b); err != nil {
+			if n.storeErr == nil {
+				n.storeErr = err
+			}
+			if rerr := n.store.ResetChain(recovered[:i]); rerr != nil && n.storeErr == nil {
+				n.storeErr = rerr
+			}
+			return
+		}
+	}
+}
+
+// pruneExpiredLocked deletes on-disk data items whose latest on-chain
+// metadata valid-time has passed (n.mu held). Items the chain does not
+// know about — locally produced but not yet packed, or fetched as a
+// consumer — are kept.
+func (n *Node) pruneExpiredLocked() {
+	now := n.now()
+	latest := make(map[meta.DataID]*meta.Item)
+	for _, b := range n.ch.Blocks() {
+		for _, it := range b.Items {
+			latest[it.ID] = it
+		}
+	}
+	_, _ = n.store.PruneData(func(id meta.DataID) bool {
+		it, ok := latest[id]
+		return ok && it.Expired(now)
+	})
 }
 
 // --- mining ------------------------------------------------------------------
@@ -174,9 +237,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		}
 		var id meta.DataID
 		copy(id[:], payload)
-		n.mu.Lock()
-		content, ok := n.data[id]
-		n.mu.Unlock()
+		content, ok := n.store.GetData(id)
 		if ok {
 			resp := make([]byte, len(id)+len(content))
 			copy(resp, id[:])
@@ -196,11 +257,13 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		if meta.HashData(content) != id {
 			return
 		}
-		n.mu.Lock()
-		_, dup := n.data[id]
+		dup := n.store.HasData(id)
 		if !dup {
-			n.data[id] = content
+			if err := n.store.PutData(id, content); err != nil {
+				return
+			}
 		}
+		n.mu.Lock()
 		cb := n.onData
 		n.mu.Unlock()
 		if !dup && cb != nil {
@@ -243,6 +306,11 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 		for _, it := range b.Items {
 			delete(n.pool, it.ID)
 		}
+	}
+	// The persisted chain was replaced wholesale; rewrite the WAL to
+	// match (genesis is never persisted).
+	if err := n.store.ResetChain(n.ch.Blocks()[1:]); err != nil && n.storeErr == nil {
+		n.storeErr = err
 	}
 	n.scheduleMiningLocked()
 }

@@ -82,6 +82,32 @@ func TestGiniProperties(t *testing.T) {
 	}
 }
 
+// Gini must be order-independent (it sorts a copy internally) and must
+// not mutate the caller's slice.
+func TestGiniUnsortedInput(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	unsorted := []float64{4, 1, 5, 2, 3}
+	if got, want := Gini(unsorted), Gini(sorted); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Gini(unsorted) = %v, Gini(sorted) = %v", got, want)
+	}
+	if unsorted[0] != 4 || unsorted[1] != 1 || unsorted[4] != 3 {
+		t.Fatalf("Gini mutated its input: %v", unsorted)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = rng.Float64() * 50
+	}
+	want := Gini(vals)
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		if got := Gini(vals); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("permutation %d changed Gini: %v vs %v", trial, got, want)
+		}
+	}
+}
+
 func TestGiniInts(t *testing.T) {
 	if got, want := GiniInts([]int{0, 10}), 0.5; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("GiniInts = %v, want %v", got, want)

@@ -1,0 +1,115 @@
+package p2p
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// frame builds a raw wire frame: [4-byte length][1-byte type][payload].
+func frame(frameType byte, payload []byte) []byte {
+	out := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)+1))
+	out[4] = frameType
+	copy(out[5:], payload)
+	return out
+}
+
+func TestReadFrameTable(t *testing.T) {
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, MaxFrameSize+1)
+
+	cases := []struct {
+		name    string
+		input   []byte
+		wantErr bool
+		wantFT  byte
+		wantPay []byte
+	}{
+		{name: "empty input", input: nil, wantErr: true},
+		{name: "torn header", input: []byte{0x00, 0x00}, wantErr: true},
+		{name: "zero-length frame", input: []byte{0, 0, 0, 0}, wantErr: true},
+		{name: "oversize length", input: oversize, wantErr: true},
+		{name: "torn payload", input: []byte{0, 0, 0, 10, FrameBlock, 'x'}, wantErr: true},
+		{name: "type-only frame", input: frame(FrameChainRequest, nil), wantFT: FrameChainRequest, wantPay: []byte{}},
+		{name: "payload frame", input: frame(FrameMeta, []byte("hello")), wantFT: FrameMeta, wantPay: []byte("hello")},
+		// readFrame is type-agnostic: unknown types surface to the
+		// handler, which ignores what it does not understand.
+		{name: "unknown frame type", input: frame(0xEE, []byte{1, 2}), wantFT: 0xEE, wantPay: []byte{1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ft, payload, err := readFrame(bytes.NewReader(tc.input))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("readFrame(%x) succeeded, want error", tc.input)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ft != tc.wantFT || !bytes.Equal(payload, tc.wantPay) {
+				t.Fatalf("got type %#x payload %x, want %#x %x", ft, payload, tc.wantFT, tc.wantPay)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, FrameData, make([]byte, MaxFrameSize)); err == nil {
+		t.Fatal("oversize frame written")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("oversize write left partial bytes")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 4096)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, FrameBlock, p); err != nil {
+			t.Fatal(err)
+		}
+		ft, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != FrameBlock || !bytes.Equal(got, p) {
+			t.Fatalf("round trip mangled payload of %d bytes", len(p))
+		}
+	}
+}
+
+// FuzzReadFrame asserts readFrame never panics and never returns a
+// payload beyond the frame cap, for arbitrary wire bytes. Frames that
+// parse must round-trip back to identical bytes.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add(frame(FrameHello, []byte("127.0.0.1:7000")))
+	f.Add(frame(0xEE, []byte{1, 2, 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload)+1 > MaxFrameSize {
+			t.Fatalf("payload of %d bytes exceeds cap", len(payload))
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, ft, payload); err != nil {
+			t.Fatalf("re-encode of parsed frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("re-encoded frame differs from wire bytes")
+		}
+		if _, err := io.Copy(io.Discard, &buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -19,6 +19,18 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+)
+
+// Network deadlines. A hung or unreachable peer must not stall the caller:
+// Connect bounds the TCP dial, and every frame write carries a deadline so
+// a peer that stops draining its socket cannot hold writeMu (and thereby a
+// Broadcast) forever — the write fails and the connection is dropped.
+var (
+	// DialTimeout bounds Connect's TCP dial.
+	DialTimeout = 5 * time.Second
+	// WriteTimeout bounds each frame write (hello, Send, Broadcast).
+	WriteTimeout = 10 * time.Second
 )
 
 // Frame types.
@@ -150,11 +162,11 @@ func (n *Node) Connect(addr string) error {
 	}
 	n.mu.Unlock()
 
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
-	if err := writeFrame(conn, FrameHello, []byte(n.Addr())); err != nil {
+	if err := writeFrameDeadline(conn, FrameHello, []byte(n.Addr())); err != nil {
 		conn.Close()
 		return fmt.Errorf("p2p: hello: %w", err)
 	}
@@ -232,8 +244,12 @@ func (n *Node) Send(peerAddr string, frameType byte, payload []byte) error {
 		return fmt.Errorf("p2p: unknown peer %s", peerAddr)
 	}
 	p.writeMu.Lock()
-	defer p.writeMu.Unlock()
-	return writeFrame(p.conn, frameType, payload)
+	err := writeFrameDeadline(p.conn, frameType, payload)
+	p.writeMu.Unlock()
+	if err != nil {
+		p.conn.Close()
+	}
+	return err
 }
 
 // Broadcast writes one frame to every connected peer; per-peer errors drop
@@ -247,12 +263,25 @@ func (n *Node) Broadcast(frameType byte, payload []byte) {
 	n.mu.Unlock()
 	for _, p := range peers {
 		p.writeMu.Lock()
-		err := writeFrame(p.conn, frameType, payload)
+		err := writeFrameDeadline(p.conn, frameType, payload)
 		p.writeMu.Unlock()
 		if err != nil {
 			p.conn.Close()
 		}
 	}
+}
+
+// writeFrameDeadline writes one frame under WriteTimeout and clears the
+// deadline afterwards so it cannot leak into unrelated later writes.
+func writeFrameDeadline(conn net.Conn, frameType byte, payload []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(WriteTimeout)); err != nil {
+		return err
+	}
+	err := writeFrame(conn, frameType, payload)
+	if cerr := conn.SetWriteDeadline(time.Time{}); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func writeFrame(w io.Writer, frameType byte, payload []byte) error {

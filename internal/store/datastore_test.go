@@ -1,0 +1,162 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/meta"
+)
+
+func TestDataStorePutGet(t *testing.T) {
+	ds, err := NewDataStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("pervasive edge data item")
+	id := meta.HashData(content)
+
+	if ds.Has(id) {
+		t.Fatal("empty store has item")
+	}
+	if _, ok, _ := ds.Get(id); ok {
+		t.Fatal("empty store served item")
+	}
+	if err := ds.Put(id, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put(id, content); err != nil {
+		t.Fatalf("idempotent re-put: %v", err)
+	}
+	got, ok, err := ds.Get(id)
+	if err != nil || !ok || string(got) != string(content) {
+		t.Fatalf("get: %q %v %v", got, ok, err)
+	}
+	// Wrong hash is refused: content addressing is the integrity invariant.
+	if err := ds.Put(meta.HashData([]byte("other")), content); err == nil {
+		t.Fatal("mismatched hash accepted")
+	}
+}
+
+func TestDataStoreColdReadVerifiesHash(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDataStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("to be corrupted on disk")
+	id := meta.HashData(content)
+	if err := ds.Put(id, content); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file behind the store's back, then read through a fresh
+	// store (cold cache).
+	if err := os.WriteFile(ds.path(id), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewDataStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cold.Get(id); ok || err != nil {
+		t.Fatalf("corrupted item served: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDataStorePrune(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDataStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []meta.DataID
+	for i := 0; i < 5; i++ {
+		content := []byte(fmt.Sprintf("item-%d", i))
+		id := meta.HashData(content)
+		ids = append(ids, id)
+		if err := ds.Put(id, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plant a stray temp file; Prune must clean it up without counting it.
+	stray := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(stray, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stray, ".put-123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	expired := map[meta.DataID]bool{ids[1]: true, ids[3]: true}
+	removed, err := ds.Prune(func(id meta.DataID) bool { return expired[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("pruned %d items, want 2", removed)
+	}
+	for i, id := range ids {
+		if got := ds.Has(id); got == expired[id] {
+			t.Fatalf("item %d: has=%v after prune", i, got)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(stray, ".put-123")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived prune")
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(10)
+	mk := func(s string) (meta.DataID, []byte) { return meta.HashData([]byte(s)), []byte(s) }
+
+	idA, a := mk("aaaa") // 4 bytes
+	idB, b := mk("bbbb") // 4 bytes
+	idC, cc := mk("cccc")
+	c.put(idA, a)
+	c.put(idB, b)
+	// Touch A so B is the eviction victim.
+	if _, ok := c.get(idA); !ok {
+		t.Fatal("A missing")
+	}
+	c.put(idC, cc) // 12 bytes total: evicts LRU (B)
+	if _, ok := c.get(idB); ok {
+		t.Fatal("LRU entry survived over budget")
+	}
+	if _, ok := c.get(idA); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.get(idC); !ok {
+		t.Fatal("new entry missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+
+	// An entry larger than the whole budget is never cached.
+	idBig, big := mk("this-is-way-over-ten-bytes")
+	c.put(idBig, big)
+	if _, ok := c.get(idBig); ok {
+		t.Fatal("over-budget entry cached")
+	}
+}
+
+func TestDataStoreCacheServesAfterDiskLoss(t *testing.T) {
+	// The LRU is the hot path: once cached, a read works even if the file
+	// vanishes (and Has still answers from the cache).
+	ds, err := NewDataStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("hot item")
+	id := meta.HashData(content)
+	if err := ds.Put(id, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ds.path(id)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ds.Get(id); !ok {
+		t.Fatal("cache did not serve hot item")
+	}
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/meta"
+)
+
+// lruCache is a byte-budgeted LRU over data-item contents. Entries larger
+// than the whole budget are never cached (they would evict everything for
+// a single-use read).
+type lruCache struct {
+	mu      sync.Mutex
+	budget  int
+	used    int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[meta.DataID]*list.Element
+}
+
+type lruEntry struct {
+	id      meta.DataID
+	content []byte
+}
+
+func newLRUCache(budget int) *lruCache {
+	return &lruCache{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[meta.DataID]*list.Element),
+	}
+}
+
+func (c *lruCache) get(id meta.DataID) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).content, true
+}
+
+func (c *lruCache) put(id meta.DataID, content []byte) {
+	if len(content) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		c.order.MoveToFront(el)
+		return // content is immutable per id (content-addressed)
+	}
+	el := c.order.PushFront(&lruEntry{id: id, content: content})
+	c.entries[id] = el
+	c.used += len(content)
+	for c.used > c.budget {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeElement(oldest)
+	}
+}
+
+func (c *lruCache) remove(id meta.DataID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *lruCache) removeElement(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.entries, e.id)
+	c.used -= len(e.content)
+}
+
+// len reports the number of cached entries (tests).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/identity"
+	"repro/internal/meta"
+)
+
+// testChain builds genesis + n linked blocks with zero miners (VerifyLink
+// skips the PoS chaining check for zero miners, so the store-level replay
+// checks are exercised without a stake ledger).
+func testChain(t testing.TB, n int) []*block.Block {
+	t.Helper()
+	blocks := []*block.Block{block.Genesis(7)}
+	for i := 1; i <= n; i++ {
+		b := block.NewBuilder(blocks[i-1], identity.Address{}, time.Duration(i)*time.Second, 1, 0).Seal()
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+func openStore(t testing.TB, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendAll(t testing.TB, s *Store, blocks []*block.Block) {
+	t.Helper()
+	for _, b := range blocks {
+		if b.Index == 0 {
+			continue
+		}
+		if err := s.AppendBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	chain := testChain(t, 5)
+
+	s := openStore(t, dir, Options{Sync: SyncAlways})
+	if got := s.RecoveredBlocks(); len(got) != 0 {
+		t.Fatalf("fresh store recovered %d blocks", len(got))
+	}
+	appendAll(t, s, chain)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	got := s2.RecoveredBlocks()
+	if len(got) != 5 {
+		t.Fatalf("recovered %d blocks, want 5", len(got))
+	}
+	for i, b := range got {
+		if b.Hash != chain[i+1].Hash {
+			t.Fatalf("block %d hash mismatch after recovery", i+1)
+		}
+	}
+}
+
+// TestTornTailTruncated is the kill-after-partial-append case: a crash
+// mid-record must lose exactly the torn block, and the store must reopen
+// cleanly and keep accepting appends.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	chain := testChain(t, 6)
+	s := openStore(t, dir, Options{Sync: SyncAlways})
+	appendAll(t, s, chain)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-payload.
+	if err := os.Truncate(walPath, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, Options{Sync: SyncAlways})
+	got := s2.RecoveredBlocks()
+	if len(got) != 5 {
+		t.Fatalf("recovered %d blocks after torn tail, want 5", len(got))
+	}
+	if got[len(got)-1].Hash != chain[5].Hash {
+		t.Fatal("recovered tip is not block 5")
+	}
+	// The file must now end on a record boundary: re-appending block 6
+	// and reopening yields the full chain again.
+	if err := s2.AppendBlock(chain[6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openStore(t, dir, Options{})
+	defer s3.Close()
+	if got := s3.RecoveredBlocks(); len(got) != 6 || got[5].Hash != chain[6].Hash {
+		t.Fatalf("after repair+append recovered %d blocks", len(got))
+	}
+}
+
+func TestCorruptMiddleRecordKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	chain := testChain(t, 4)
+	s := openStore(t, dir, Options{Sync: SyncAlways})
+	appendAll(t, s, chain)
+	recSize := int64(recordHeaderSize + len(chain[1].Encode()))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte inside the second record.
+	walPath := filepath.Join(dir, walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[recSize+recordHeaderSize+10] ^= 0xFF
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	got := s2.RecoveredBlocks()
+	if len(got) != 1 || got[0].Hash != chain[1].Hash {
+		t.Fatalf("recovered %d blocks past CRC corruption, want 1", len(got))
+	}
+}
+
+// TestCheckpointSkipsContentVerification shows the incremental-replay
+// contract: a block whose item signature is invalid (content tampered
+// after signing, hash recomputed) is rejected on a cold open, but
+// accepted when a checkpoint already covers its height — CRC plus hash
+// links stand in for the full re-verification below the checkpoint.
+func TestCheckpointSkipsContentVerification(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	producer := identity.GenerateSeeded(rng)
+	it := &meta.Item{ID: meta.HashData([]byte("x")), Type: "T", DataSize: 1}
+	it.Sign(producer)
+	it.Properties = "tampered-after-signing"
+
+	genesis := block.Genesis(7)
+	bad := block.NewBuilder(genesis, identity.Address{}, time.Second, 1, 0).AddItem(it).Seal()
+	if err := bad.VerifySelf(); err == nil {
+		t.Fatal("tampered item unexpectedly verifies")
+	}
+
+	build := func() string {
+		dir := t.TempDir()
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		if err := s.AppendBlock(bad); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	cold := openStore(t, build(), Options{})
+	defer cold.Close()
+	if n := len(cold.RecoveredBlocks()); n != 0 {
+		t.Fatalf("cold open kept %d unverifiable blocks, want 0", n)
+	}
+
+	// A manifest checkpoint covering height 1 vouches for the block, so
+	// the next open keeps it without re-running signature verification.
+	dir := build()
+	err := SaveManifest(filepath.Join(dir, manifestFile), Manifest{Height: 1, Head: bad.Hash.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := openStore(t, dir, Options{})
+	defer warm.Close()
+	got := warm.RecoveredBlocks()
+	if len(got) != 1 || got[0].Hash != bad.Hash {
+		t.Fatalf("checkpointed open recovered %d blocks, want the vouched block", len(got))
+	}
+}
+
+func TestResetChain(t *testing.T) {
+	dir := t.TempDir()
+	chain := testChain(t, 5)
+	s := openStore(t, dir, Options{Sync: SyncAlways})
+	appendAll(t, s, chain)
+
+	// Fork replacement: a different, shorter persisted chain.
+	alt := testChain(t, 3)
+	if err := s.ResetChain(alt[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	got := s2.RecoveredBlocks()
+	if len(got) != 3 {
+		t.Fatalf("recovered %d blocks after reset, want 3", len(got))
+	}
+	for i, b := range got {
+		if b.Hash != alt[i+1].Hash {
+			t.Fatalf("block %d differs from reset chain", i+1)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if m, err := LoadManifest(path); err != nil || m != (Manifest{}) {
+		t.Fatalf("missing manifest: %+v, %v", m, err)
+	}
+	want := Manifest{Height: 9, Head: "abcd", WALBytes: 123}
+	if err := SaveManifest(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil || got != want {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+	// Corrupt manifest must error, not panic.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("corrupt manifest loaded")
+	}
+}

@@ -1,0 +1,323 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+)
+
+// The WAL is a sequence of framed records, one per block:
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC32 (IEEE) of
+//	payload][payload = block wire encoding (internal/block codec)]
+//
+// A crash can leave at most one torn record at the tail; recovery
+// truncates it. The writer opens the file with O_APPEND and serializes
+// appends with a mutex so concurrent miners (block adoption happens on
+// multiple goroutines in livenode) cannot interleave records.
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs after BatchN appends or
+	// BatchInterval elapsed time, whichever comes first.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every append (maximum durability).
+	SyncAlways
+	// SyncNone never fsyncs explicitly; the OS flushes at its leisure.
+	// A crash may lose recent blocks, but the tail-truncation recovery
+	// still yields a consistent prefix.
+	SyncNone
+)
+
+// String returns the policy's flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy parses "always", "batch" or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch", "":
+		return SyncBatch, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncBatch, fmt.Errorf("store: unknown fsync policy %q (want always|batch|none)", s)
+}
+
+const (
+	recordHeaderSize = 8
+	// MaxRecordSize bounds one WAL payload against corrupt length
+	// prefixes (matches the p2p frame cap).
+	MaxRecordSize = 64 << 20
+
+	defaultBatchN        = 8
+	defaultBatchInterval = 500 * time.Millisecond
+)
+
+// WAL is the append-only block log writer.
+type WAL struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	policy   SyncPolicy
+	batchN   int
+	interval time.Duration
+	pending  int
+	lastSync time.Time
+	closed   bool
+}
+
+// OpenWAL opens the WAL file for appending. The file is created if
+// missing; callers wanting recovery semantics should RecoverWAL first
+// (Store.Open does both).
+func OpenWAL(path string, opts Options) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	w := &WAL{
+		path:     path,
+		f:        f,
+		size:     st.Size(),
+		policy:   opts.Sync,
+		batchN:   opts.BatchN,
+		interval: time.Duration(opts.BatchInterval),
+		lastSync: time.Now(),
+	}
+	if w.batchN <= 0 {
+		w.batchN = defaultBatchN
+	}
+	if w.interval <= 0 {
+		w.interval = defaultBatchInterval
+	}
+	return w, nil
+}
+
+// Append frames and writes one block, fsyncing per the policy.
+func (w *WAL) Append(b *block.Block) error {
+	payload := b.Encode()
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("store: wal record of %d bytes exceeds cap", len(payload))
+	}
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[recordHeaderSize:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal closed")
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.size += int64(len(rec))
+	w.pending++
+	switch w.policy {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncBatch:
+		if w.pending >= w.batchN || time.Since(w.lastSync) >= w.interval {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.pending = 0
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Size returns the current WAL size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Reset atomically replaces the WAL content with the given blocks
+// (temp-file + rename), used when a fork replacement rewrites the chain.
+func (w *WAL) Reset(blocks []*block.Block) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal closed")
+	}
+	if err := WriteWAL(w.path, blocks); err != nil {
+		return err
+	}
+	// Reopen the append handle on the new file.
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal: %w", err)
+	}
+	w.f.Close()
+	w.f = f
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat wal: %w", err)
+	}
+	w.size = st.Size()
+	w.pending = 0
+	return nil
+}
+
+// Close fsyncs (unless SyncNone) and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var syncErr error
+	if w.policy != SyncNone {
+		syncErr = w.f.Sync()
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// ScanWAL reads the WAL and returns every decodable block plus the byte
+// offset up to which the file is well-formed. A torn or corrupt record
+// (short header, short payload, CRC mismatch, undecodable block) ends the
+// scan; everything before it is returned. A missing file scans as empty.
+func ScanWAL(path string) (blocks []*block.Block, validSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: scan wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	hdr := make([]byte, recordHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return blocks, off, nil // clean EOF or torn header
+		}
+		size := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		if size == 0 || size > MaxRecordSize {
+			return blocks, off, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return blocks, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return blocks, off, nil
+		}
+		b, err := block.Decode(payload)
+		if err != nil {
+			return blocks, off, nil
+		}
+		blocks = append(blocks, b)
+		off += int64(recordHeaderSize) + int64(size)
+	}
+}
+
+// RecoverWAL scans the WAL and truncates any torn tail so the file ends
+// on a record boundary, returning the surviving blocks.
+func RecoverWAL(path string) ([]*block.Block, error) {
+	blocks, validSize, err := ScanWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return blocks, nil
+		}
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	if st.Size() > validSize {
+		if err := os.Truncate(path, validSize); err != nil {
+			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	return blocks, nil
+}
+
+// WriteWAL writes a fresh WAL containing exactly the given blocks, via
+// temp-file + fsync + rename so a crash leaves either the old or the new
+// file, never a hybrid.
+func WriteWAL(path string, blocks []*block.Block) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("store: wal tmp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [recordHeaderSize]byte
+	for _, b := range blocks {
+		payload := b.Encode()
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: wal rewrite: %w", err)
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: wal rewrite: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: wal rewrite sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: wal rewrite close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: wal rewrite rename: %w", err)
+	}
+	return nil
+}
