@@ -1,0 +1,308 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/livenode"
+	"repro/internal/p2p"
+	"repro/internal/p2p/memnet"
+	"repro/internal/pos"
+	"repro/internal/store"
+)
+
+// Options configure a chaos cluster.
+type Options struct {
+	// N is the roster size (required, > 0).
+	N int
+	// Seed drives everything random in the run: roster key pairs and the
+	// fault network's RNG. Same options + same schedule ⇒ same event log.
+	Seed int64
+	// T0 is the expected block interval (default 5s — virtual seconds are
+	// free).
+	T0 time.Duration
+	// Faults are the initial default link fault parameters (zero value =
+	// perfect instant network).
+	Faults memnet.Params
+	// DataDirs, when non-nil, gives per-node store directories; "" keeps
+	// that node in-memory. Nodes with a directory survive Crash/Restart
+	// with their WAL.
+	DataDirs []string
+	// StorageCapacity is the per-node storage in items (0 = livenode
+	// default).
+	StorageCapacity int
+	// CheckpointEvery is the store checkpoint cadence in blocks (0 =
+	// livenode default).
+	CheckpointEvery int
+}
+
+// Cluster is N live nodes on one fault-injecting in-memory network and one
+// shared virtual clock. All methods must be called from a single
+// goroutine (the test).
+type Cluster struct {
+	opts     Options
+	params   pos.Params
+	Epoch    time.Time
+	Clock    *VClock
+	Net      *memnet.Network
+	idents   []*identity.Identity
+	accounts []identity.Address
+	nodes    []*livenode.Node // nil while crashed
+}
+
+// GenesisSeed is the fixed genesis seed all chaos clusters share.
+const GenesisSeed = 42
+
+// Addr returns node i's symbolic transport address.
+func Addr(i int) string { return fmt.Sprintf("node%02d", i) }
+
+// NewCluster builds and starts the cluster; nodes are live but not yet
+// connected (call ConnectAll or Connect).
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("chaos: cluster needs N > 0")
+	}
+	if opts.T0 <= 0 {
+		opts.T0 = 5 * time.Second
+	}
+	if opts.DataDirs != nil && len(opts.DataDirs) != opts.N {
+		return nil, fmt.Errorf("chaos: %d data dirs for %d nodes", len(opts.DataDirs), opts.N)
+	}
+	epoch := time.Unix(1700000000, 0) // fixed: virtual time is relative anyway
+	c := &Cluster{
+		opts:   opts,
+		params: pos.Params{M: pos.DefaultM, T0: opts.T0},
+		Epoch:  epoch,
+		Clock:  NewVClock(epoch),
+	}
+	c.Net = memnet.New(opts.Seed, c.Clock.Now)
+	c.Net.SetDefaults(opts.Faults)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c.idents = make([]*identity.Identity, opts.N)
+	c.accounts = make([]identity.Address, opts.N)
+	for i := range c.idents {
+		c.idents[i] = identity.GenerateSeeded(rng)
+		c.accounts[i] = c.idents[i].Address()
+	}
+	c.nodes = make([]*livenode.Node, opts.N)
+	for i := range c.nodes {
+		if err := c.startNode(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) startNode(i int) error {
+	var st core.Store
+	if c.opts.DataDirs != nil && c.opts.DataDirs[i] != "" {
+		s, err := store.Open(c.opts.DataDirs[i], store.Options{Sync: store.SyncAlways})
+		if err != nil {
+			return fmt.Errorf("chaos: open store %d: %w", i, err)
+		}
+		st = s
+	}
+	node, err := livenode.New(livenode.Config{
+		Identity:        c.idents[i],
+		Accounts:        c.accounts,
+		PoS:             c.params,
+		GenesisSeed:     GenesisSeed,
+		Epoch:           c.Epoch,
+		Clock:           c.Clock,
+		NewTransport:    func(h p2p.Handler) (p2p.Transport, error) { return c.Net.Listen(Addr(i), h) },
+		Store:           st,
+		StorageCapacity: c.opts.StorageCapacity,
+		CheckpointEvery: c.opts.CheckpointEvery,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: start node %d: %w", i, err)
+	}
+	c.nodes[i] = node
+	return nil
+}
+
+// Node returns node i (nil while crashed).
+func (c *Cluster) Node(i int) *livenode.Node { return c.nodes[i] }
+
+// Nodes returns the live nodes.
+func (c *Cluster) Nodes() []*livenode.Node {
+	out := make([]*livenode.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Accounts returns the fixed roster.
+func (c *Cluster) Accounts() []identity.Address { return c.accounts }
+
+// Params returns the cluster's PoS parameters.
+func (c *Cluster) Params() pos.Params { return c.params }
+
+// ConnectAll links every live node pair and lets them exchange chains.
+func (c *Cluster) ConnectAll() error {
+	for i, a := range c.nodes {
+		if a == nil {
+			continue
+		}
+		for j, b := range c.nodes {
+			if i < j && b != nil {
+				if err := a.Connect(Addr(j)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Crash kills node i mid-flight: mining stops, the transport detaches and
+// the store is released without a checkpoint (WAL recovery on restart).
+func (c *Cluster) Crash(i int) error {
+	n := c.nodes[i]
+	if n == nil {
+		return fmt.Errorf("chaos: node %d already down", i)
+	}
+	c.nodes[i] = nil
+	return n.Kill()
+}
+
+// Restart brings a crashed node back (reopening its store if it has one)
+// and reconnects it to every live peer.
+func (c *Cluster) Restart(i int) error {
+	if c.nodes[i] != nil {
+		return fmt.Errorf("chaos: node %d still up", i)
+	}
+	if err := c.startNode(i); err != nil {
+		return err
+	}
+	addrs := make([]string, 0, len(c.nodes))
+	for j, n := range c.nodes {
+		if j != i && n != nil {
+			addrs = append(addrs, Addr(j))
+		}
+	}
+	return c.nodes[i].Connect(addrs...)
+}
+
+// Partition splits the cluster into node-index groups (see
+// memnet.Network.Partition); in-flight messages across the cut are lost.
+func (c *Cluster) Partition(groups ...[]int) {
+	addrGroups := make([][]string, len(groups))
+	for gi, g := range groups {
+		addrGroups[gi] = make([]string, len(g))
+		for i, n := range g {
+			addrGroups[gi][i] = Addr(n)
+		}
+	}
+	c.Net.Partition(addrGroups...)
+}
+
+// Heal removes every network cut.
+func (c *Cluster) Heal() { c.Net.Heal() }
+
+// Close shuts all live nodes down.
+func (c *Cluster) Close() {
+	for i, n := range c.nodes {
+		if n != nil {
+			_ = n.Close()
+			c.nodes[i] = nil
+		}
+	}
+}
+
+// step executes the single earliest scheduled happening — a due network
+// message or a due timer, messages first on ties — and reports false when
+// nothing is due at or before horizon.
+func (c *Cluster) step(horizon time.Time) bool {
+	msgAt, msgOK := c.Net.NextDue()
+	timerAt, timerOK := c.Clock.NextTimer()
+	switch {
+	case !msgOK && !timerOK:
+		return false
+	case msgOK && (!timerOK || !msgAt.After(timerAt)):
+		if msgAt.After(horizon) {
+			return false
+		}
+		// No timer precedes msgAt, so jumping without firing is safe.
+		c.Clock.setNow(msgAt)
+		c.Net.DeliverNext()
+	default:
+		if timerAt.After(horizon) {
+			return false
+		}
+		c.Clock.AdvanceTo(timerAt)
+	}
+	return true
+}
+
+// Run advances the cluster by d of virtual time, interleaving message
+// deliveries and timer fires in due order.
+func (c *Cluster) Run(d time.Duration) {
+	horizon := c.Clock.Now().Add(d)
+	for c.step(horizon) {
+	}
+	c.Clock.AdvanceTo(horizon)
+}
+
+// RunUntil advances the cluster until cond holds at a network-idle point
+// (no in-flight messages), or fails after max of virtual time. Mining
+// timers keep the world moving, so the bound is on virtual time, not
+// steps.
+func (c *Cluster) RunUntil(cond func() bool, max time.Duration) error {
+	horizon := c.Clock.Now().Add(max)
+	if c.Net.Pending() == 0 && cond() {
+		return nil
+	}
+	for c.step(horizon) {
+		if c.Net.Pending() == 0 && cond() {
+			return nil
+		}
+	}
+	if cond() {
+		return nil
+	}
+	return fmt.Errorf("chaos: condition not reached within %v of virtual time (now %v since epoch)",
+		max, c.Clock.Now().Sub(c.Epoch))
+}
+
+// Converged reports whether every live node has the identical chain.
+func (c *Cluster) Converged() bool {
+	return CheckConvergence(c.Nodes()) == nil
+}
+
+// Settle waits (in virtual time) for full convergence of all live nodes.
+func (c *Cluster) Settle(max time.Duration) error {
+	if err := c.RunUntil(c.Converged, max); err != nil {
+		return fmt.Errorf("%w; convergence: %v", err, CheckConvergence(c.Nodes()))
+	}
+	return nil
+}
+
+// CheckInvariants runs every post-quiescence invariant against the
+// cluster: single-chain convergence, full structural + PoS validity of the
+// adopted chain, and per-node ledger/storage accounting consistency.
+func (c *Cluster) CheckInvariants() error {
+	nodes := c.Nodes()
+	if err := CheckConvergence(nodes); err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	if err := CheckChainValidity(nodes[0].ChainSnapshot(), c.accounts, c.params); err != nil {
+		return err
+	}
+	for i, n := range nodes {
+		if err := CheckLedgerAccounting(n, c.accounts); err != nil {
+			return fmt.Errorf("live node %d: %w", i, err)
+		}
+	}
+	return nil
+}

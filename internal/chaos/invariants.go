@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/identity"
+	"repro/internal/livenode"
+	"repro/internal/pos"
+)
+
+// CheckConvergence verifies that every node holds the identical chain:
+// same height and the same block hash at every index.
+func CheckConvergence(nodes []*livenode.Node) error {
+	if len(nodes) < 2 {
+		return nil
+	}
+	ref := nodes[0].ChainSnapshot()
+	for k, n := range nodes[1:] {
+		snap := n.ChainSnapshot()
+		if len(snap) != len(ref) {
+			return fmt.Errorf("chaos: node %d at height %d, node 0 at %d", k+1, len(snap)-1, len(ref)-1)
+		}
+		for h := range snap {
+			if snap[h].Hash != ref[h].Hash {
+				return fmt.Errorf("chaos: node %d diverges from node 0 at height %d", k+1, h)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckChainValidity replays the whole snapshot end-to-end: structural
+// validation (hashes, links, item signatures) plus PoS claim validation of
+// every block against a scratch ledger built from the same prefix —
+// exactly what an honest node would accept over the wire.
+func CheckChainValidity(snapshot []*block.Block, accounts []identity.Address, params pos.Params) error {
+	if err := chain.Validate(snapshot); err != nil {
+		return fmt.Errorf("chaos: adopted chain invalid: %w", err)
+	}
+	scratch := pos.NewLedger(accounts)
+	for i := 1; i < len(snapshot); i++ {
+		if err := params.ValidateClaim(snapshot[i-1], snapshot[i], scratch); err != nil {
+			return fmt.Errorf("chaos: block %d PoS claim: %w", i, err)
+		}
+		if err := scratch.ApplyBlock(snapshot[i]); err != nil {
+			return fmt.Errorf("chaos: block %d ledger apply: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckLedgerAccounting verifies that the node's live stake ledger (S_i,
+// Q_i) and its placement storage view match an independent recomputation
+// from the node's own chain replica — i.e. derived state never drifts from
+// chain contents across forks, replays and restarts.
+func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address) error {
+	snap := n.ChainSnapshot()
+	ref := pos.NewLedger(accounts)
+	refUsed := make([]int, len(accounts))
+	credit := func(ns []int) {
+		for _, i := range ns {
+			if i >= 0 && i < len(refUsed) {
+				refUsed[i]++
+			}
+		}
+	}
+	for _, b := range snap {
+		if b.Index == 0 {
+			continue
+		}
+		if err := ref.ApplyBlock(b); err != nil {
+			return fmt.Errorf("chaos: recompute ledger: %w", err)
+		}
+		for _, it := range b.Items {
+			credit(it.StoringNodes)
+		}
+		credit(b.StoringNodes)
+		credit(b.RecentAssignees)
+	}
+	gotS, gotQ := n.LedgerStats()
+	gotUsed := n.StorageUsed()
+	for i := range accounts {
+		if gotS[i] != ref.S(i) {
+			return fmt.Errorf("chaos: S_%d = %d, chain says %d", i, gotS[i], ref.S(i))
+		}
+		if gotQ[i] != ref.Q(i) {
+			return fmt.Errorf("chaos: Q_%d = %d, chain says %d", i, gotQ[i], ref.Q(i))
+		}
+		if gotUsed[i] != refUsed[i] {
+			return fmt.Errorf("chaos: storage view used_%d = %d, chain says %d", i, gotUsed[i], refUsed[i])
+		}
+	}
+	return nil
+}
+
+// CommonPrefix returns the hashes of the longest chain prefix shared by
+// every node (genesis included). Nodes in a partitioned cluster agree on
+// exactly this prefix; safety demands it is never rolled back.
+func CommonPrefix(nodes []*livenode.Node) []block.Hash {
+	if len(nodes) == 0 {
+		return nil
+	}
+	snaps := make([][]*block.Block, len(nodes))
+	minLen := -1
+	for i, n := range nodes {
+		snaps[i] = n.ChainSnapshot()
+		if minLen < 0 || len(snaps[i]) < minLen {
+			minLen = len(snaps[i])
+		}
+	}
+	var prefix []block.Hash
+	for h := 0; h < minLen; h++ {
+		want := snaps[0][h].Hash
+		for _, s := range snaps[1:] {
+			if s[h].Hash != want {
+				return prefix
+			}
+		}
+		prefix = append(prefix, want)
+	}
+	return prefix
+}
+
+// CheckPrefixPreserved verifies the node's chain still begins with the
+// given prefix — no committed common block was rolled back.
+func CheckPrefixPreserved(prefix []block.Hash, n *livenode.Node) error {
+	snap := n.ChainSnapshot()
+	if len(snap) < len(prefix) {
+		return fmt.Errorf("chaos: chain of %d blocks shorter than preserved prefix of %d", len(snap), len(prefix))
+	}
+	for h, want := range prefix {
+		if snap[h].Hash != want {
+			return fmt.Errorf("chaos: committed block at height %d rolled back past heal-time common prefix", h)
+		}
+	}
+	return nil
+}

@@ -45,7 +45,15 @@ type Config struct {
 	// from it. All nodes must use the same value.
 	Epoch time.Time
 	// ListenAddr is the TCP listen address ("127.0.0.1:0" for ephemeral).
+	// Ignored when NewTransport is set.
 	ListenAddr string
+	// NewTransport, if set, builds the node's transport endpoint instead
+	// of the default TCP one (p2p.Listen on ListenAddr). The chaos harness
+	// injects internal/p2p/memnet endpoints here.
+	NewTransport func(h p2p.Handler) (p2p.Transport, error)
+	// Clock is the node's time source; nil means the wall clock. The chaos
+	// harness injects a virtual clock shared by all nodes.
+	Clock Clock
 	// StorageCapacity is the per-node storage in items (default 250).
 	StorageCapacity int
 	// Store is the node's persistence backend. nil means in-memory
@@ -68,7 +76,8 @@ type Config struct {
 type Node struct {
 	cfg     Config
 	selfIdx int
-	net     *p2p.Node
+	net     p2p.Transport
+	clock   Clock
 
 	mu        sync.Mutex
 	ch        *chain.Chain
@@ -81,7 +90,7 @@ type Node struct {
 	replaying bool // WAL replay in progress: skip re-persisting/fetching
 	sinceCkpt int  // blocks adopted since the last store checkpoint
 	storeErr  error
-	mineTimer *time.Timer
+	mineTimer Timer
 	closed    bool
 	onData    func(id meta.DataID, content []byte)
 }
@@ -144,6 +153,14 @@ func New(cfg Config) (*Node, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 32
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock()
+	}
+	if cfg.NewTransport == nil {
+		cfg.NewTransport = func(h p2p.Handler) (p2p.Transport, error) {
+			return p2p.Listen(cfg.ListenAddr, h)
+		}
+	}
 	selfIdx := -1
 	for i, a := range cfg.Accounts {
 		if a == cfg.Identity.Address() {
@@ -156,6 +173,7 @@ func New(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:     cfg,
 		selfIdx: selfIdx,
+		clock:   cfg.Clock,
 		ledger:  pos.NewLedger(cfg.Accounts),
 		view:    newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
 		planner: alloc.NewPlanner(1),
@@ -176,11 +194,11 @@ func New(cfg Config) (*Node, error) {
 	// then caught up over the normal FrameChainRequest sync path.
 	n.replayRecovered()
 
-	p2pNode, err := p2p.Listen(cfg.ListenAddr, p2p.HandlerFunc(n.handleFrame))
+	transport, err := cfg.NewTransport(p2p.HandlerFunc(n.handleFrame))
 	if err != nil {
 		return nil, err
 	}
-	n.net = p2pNode
+	n.net = transport
 
 	n.mu.Lock()
 	n.scheduleMiningLocked()
@@ -199,7 +217,7 @@ func (n *Node) Connect(addrs ...string) error {
 		}
 	}
 	// Small grace for the handshake, then sync.
-	time.Sleep(50 * time.Millisecond)
+	n.clock.Sleep(50 * time.Millisecond)
 	n.net.Broadcast(p2p.FrameChainRequest, nil)
 	return nil
 }
@@ -283,8 +301,57 @@ func (n *Node) Close() error {
 	return netErr
 }
 
+// Kill simulates a crash: mining and networking stop immediately and the
+// store is released without the final checkpoint Close would write, so a
+// restart from the same data directory exercises the WAL recovery path
+// rather than the clean-shutdown path. The chaos harness uses it for
+// crash/restart scenarios.
+func (n *Node) Kill() error {
+	n.mu.Lock()
+	n.closed = true
+	if n.mineTimer != nil {
+		n.mineTimer.Stop()
+	}
+	n.mu.Unlock()
+	netErr := n.net.Close()
+	if err := n.store.Close(); err != nil && netErr == nil {
+		netErr = err
+	}
+	return netErr
+}
+
+// ChainSnapshot returns a copy of the node's chain replica (genesis
+// first). The blocks themselves are shared and must not be mutated.
+func (n *Node) ChainSnapshot() []*block.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*block.Block(nil), n.ch.Blocks()...)
+}
+
+// LedgerStats returns every roster node's stake S_i and storage credit
+// Q_i as derived from this node's chain replica. Index k is node ID k.
+func (n *Node) LedgerStats() (s, q []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s = make([]uint64, n.ledger.N())
+	q = make([]uint64, n.ledger.N())
+	for i := range s {
+		s[i] = n.ledger.S(i)
+		q[i] = n.ledger.Q(i)
+	}
+	return s, q
+}
+
+// StorageUsed returns the chain-derived per-node storage usage this node's
+// placement view currently assumes.
+func (n *Node) StorageUsed() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]int(nil), n.view.used...)
+}
+
 // now returns the current time as an offset from the shared epoch.
-func (n *Node) now() time.Duration { return time.Since(n.cfg.Epoch) }
+func (n *Node) now() time.Duration { return n.clock.Now().Sub(n.cfg.Epoch) }
 
 // Publish creates a data item from content, stores it locally, and
 // broadcasts the signed metadata.

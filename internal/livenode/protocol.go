@@ -1,11 +1,14 @@
 package livenode
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"sort"
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/chain"
 	"repro/internal/meta"
 	"repro/internal/p2p"
 	"repro/internal/pos"
@@ -51,12 +54,14 @@ func (n *Node) postAppend(b *block.Block) {
 		if n.replaying {
 			continue // no networking during WAL replay
 		}
-		// If assigned to store and lacking content, fetch it.
+		// If assigned to store and lacking content, fetch it. Scheduled
+		// through the clock (not a bare goroutine) so virtual-clock runs
+		// issue the request at a deterministic point.
 		for _, sn := range it.StoringNodes {
 			if sn == n.selfIdx {
 				if !n.store.HasData(it.ID) {
 					id := it.ID
-					go n.RequestData(id)
+					n.clock.AfterFunc(0, func() { n.RequestData(id) })
 				}
 			}
 		}
@@ -130,12 +135,12 @@ func (n *Node) scheduleMiningLocked() {
 		return
 	}
 	fireAt := n.cfg.Epoch.Add(prev.Timestamp + time.Duration(t)*time.Second)
-	delay := time.Until(fireAt)
+	delay := fireAt.Sub(n.clock.Now())
 	if delay < 0 {
 		delay = 0
 	}
 	prevHash := prev.Hash
-	n.mineTimer = time.AfterFunc(delay, func() { n.mine(prevHash, t, bval) })
+	n.mineTimer = n.clock.AfterFunc(delay, func() { n.mine(prevHash, t, bval) })
 }
 
 // mine assembles and broadcasts the next block if the round is still open.
@@ -148,7 +153,15 @@ func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
 	}
 	bld := block.NewBuilder(prev, n.cfg.Identity.Address(), n.now(), minedAfter, bval)
 	states := n.view.states()
-	for _, it := range n.pool {
+	// Pack pool items in sorted-ID order: map iteration order would leak
+	// into block contents and break run-to-run determinism.
+	ids := make([]meta.DataID, 0, len(n.pool))
+	for id := range n.pool {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return bytes.Compare(ids[a][:], ids[b][:]) < 0 })
+	for _, id := range ids {
+		it := n.pool[id]
 		if it.Expired(n.now()) {
 			delete(n.pool, it.ID)
 			continue
@@ -212,9 +225,11 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			n.scheduleMiningLocked()
 		}
 		n.mu.Unlock()
-		if addErr != nil {
+		if addErr != nil && !errors.Is(addErr, chain.ErrDuplicate) {
 			// Gap or fork: ask the sender for its whole chain
-			// (Naivechain-style resolution).
+			// (Naivechain-style resolution). Duplicates — common on lossy
+			// links that re-deliver — carry no new information and must not
+			// trigger an O(chain) sync.
 			n.net.Send(from, p2p.FrameChainRequest, nil)
 		}
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"runtime"
 	"testing"
 )
 
@@ -14,6 +15,13 @@ func frame(frameType byte, payload []byte) []byte {
 	out[4] = frameType
 	copy(out[5:], payload)
 	return out
+}
+
+// maxClaim returns a header claiming exactly MaxFrameSize bytes follow.
+func maxClaim() []byte {
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrameSize)
+	return hdr
 }
 
 func TestReadFrameTable(t *testing.T) {
@@ -31,7 +39,11 @@ func TestReadFrameTable(t *testing.T) {
 		{name: "torn header", input: []byte{0x00, 0x00}, wantErr: true},
 		{name: "zero-length frame", input: []byte{0, 0, 0, 0}, wantErr: true},
 		{name: "oversize length", input: oversize, wantErr: true},
+		{name: "max oversize length", input: []byte{0xff, 0xff, 0xff, 0xff}, wantErr: true},
 		{name: "torn payload", input: []byte{0, 0, 0, 10, FrameBlock, 'x'}, wantErr: true},
+		{name: "truncated huge claim", input: append(maxClaim(), FrameChain, 'a', 'b'), wantErr: true},
+		{name: "header-only huge claim", input: maxClaim(), wantErr: true},
+		{name: "exact-cap claim torn", input: append(maxClaim(), FrameData), wantErr: true},
 		{name: "type-only frame", input: frame(FrameChainRequest, nil), wantFT: FrameChainRequest, wantPay: []byte{}},
 		{name: "payload frame", input: frame(FrameMeta, []byte("hello")), wantFT: FrameMeta, wantPay: []byte("hello")},
 		// readFrame is type-agnostic: unknown types surface to the
@@ -84,15 +96,75 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
-// FuzzReadFrame asserts readFrame never panics and never returns a
-// payload beyond the frame cap, for arbitrary wire bytes. Frames that
-// parse must round-trip back to identical bytes.
+// TestReadFrameDuplicateTypeStream reads consecutive frames of the same
+// type from one connection's byte stream: framing must not desynchronize
+// and each payload must come back intact.
+func TestReadFrameDuplicateTypeStream(t *testing.T) {
+	var wire bytes.Buffer
+	payloads := [][]byte{[]byte("first"), []byte("first"), []byte("second"), {}}
+	for _, p := range payloads {
+		wire.Write(frame(FrameBlock, p))
+	}
+	for i, want := range payloads {
+		ft, got, err := readFrame(&wire)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != FrameBlock || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got type %#x payload %q, want %q", i, ft, got, want)
+		}
+	}
+	if _, _, err := readFrame(&wire); err == nil {
+		t.Fatal("read past final frame succeeded")
+	}
+}
+
+// TestReadFrameBoundedAllocation verifies a forged huge length prefix with
+// no bytes behind it cannot make readFrame commit the claimed memory: the
+// chunked reader must fail after at most one allocation step.
+func TestReadFrameBoundedAllocation(t *testing.T) {
+	lie := append(maxClaim(), FrameData, 'x', 'y', 'z')
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		if _, _, err := readFrame(bytes.NewReader(lie)); err == nil {
+			t.Fatal("truncated huge claim parsed")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// A naive make([]byte, size) would allocate rounds×64 MiB; the chunked
+	// reader stays near rounds×2×frameAllocChunk. 16 MiB of slack absorbs
+	// runtime noise while still catching a single full-size allocation.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Fatalf("readFrame allocated %d bytes across %d truncated huge claims", grew, rounds)
+	}
+}
+
+// FuzzReadFrame asserts readFrame never panics, never returns a payload
+// beyond the frame cap, and never fabricates bytes it did not read, for
+// arbitrary wire bytes. Frames that parse must round-trip back to
+// identical bytes.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add(frame(FrameHello, []byte("127.0.0.1:7000")))
 	f.Add(frame(0xEE, []byte{1, 2, 3}))
+	// Truncated frames: declared length exceeds what follows.
+	f.Add(frame(FrameBlock, []byte("truncated"))[:7])
+	f.Add(append(maxClaim(), FrameChain, 'a'))
+	f.Add(maxClaim())
+	// Oversized declared lengths, with and without trailing bytes.
+	f.Add(func() []byte {
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, MaxFrameSize+1)
+		return append(hdr, make([]byte, 64)...)
+	}())
+	// Duplicate-type frames back to back on one stream.
+	f.Add(append(frame(FrameMeta, []byte("dup")), frame(FrameMeta, []byte("dup"))...))
+	f.Add(append(frame(FrameChainRequest, nil), frame(FrameChainRequest, nil)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, payload, err := readFrame(bytes.NewReader(data))
 		if err != nil {
@@ -100,6 +172,9 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if len(payload)+1 > MaxFrameSize {
 			t.Fatalf("payload of %d bytes exceeds cap", len(payload))
+		}
+		if len(payload)+5 > len(data) {
+			t.Fatalf("payload of %d bytes fabricated from %d input bytes", len(payload), len(data))
 		}
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, ft, payload); err != nil {

@@ -1,0 +1,509 @@
+// Package memnet is an in-memory, fault-injecting implementation of
+// p2p.Transport for deterministic network tests. All endpoints attach to
+// one Network hub that models each directed link with seeded-RNG faults —
+// message loss, latency, duplication and reordering — plus directed and
+// symmetric partitions.
+//
+// Delivery is pull-based: Send and Broadcast only enqueue; nothing reaches
+// a handler until the test harness calls DeliverNext. Combined with a
+// virtual clock (internal/chaos) this makes whole-cluster runs
+// single-threaded and exactly reproducible: the same seed yields the same
+// event log, byte for byte. Every send, drop, duplication and delivery is
+// recorded in that log for postmortems.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// Params configure the fault model of one directed link.
+type Params struct {
+	// Drop is the probability a message is silently lost in flight.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice (the copy
+	// gets its own independently sampled latency).
+	Duplicate float64
+	// Reorder is the probability a message may overtake earlier traffic on
+	// its link. Links are FIFO otherwise (TCP-like): a sampled delivery
+	// time earlier than the link's previous one is clamped forward.
+	Reorder float64
+	// DelayMin and DelayMax bound the uniformly sampled one-way latency.
+	// Zero values mean instant delivery (messages come due immediately).
+	DelayMin, DelayMax time.Duration
+}
+
+func (p Params) delay(rng *rand.Rand) time.Duration {
+	if p.DelayMax <= p.DelayMin {
+		return p.DelayMin
+	}
+	return p.DelayMin + time.Duration(rng.Int63n(int64(p.DelayMax-p.DelayMin)+1))
+}
+
+// EventKind labels one entry of the network event log.
+type EventKind string
+
+// Event kinds recorded by the network.
+const (
+	EvSend       EventKind = "send"
+	EvDeliver    EventKind = "deliver"
+	EvDrop       EventKind = "drop"
+	EvDuplicate  EventKind = "dup"
+	EvConnect    EventKind = "connect"
+	EvDisconnect EventKind = "disconnect"
+	EvClose      EventKind = "close"
+	EvPartition  EventKind = "partition"
+	EvHeal       EventKind = "heal"
+)
+
+// Event is one record of the network's postmortem log.
+type Event struct {
+	// Seq is the global event sequence number (dense, starting at 1).
+	Seq uint64
+	// At is the time of the event relative to the network's creation.
+	At time.Duration
+	// Kind is what happened.
+	Kind EventKind
+	// From and To identify the link, where applicable.
+	From, To string
+	// Frame is the frame type for message events.
+	Frame byte
+	// Size is the payload size in bytes for message events.
+	Size int
+	// Note carries extra context (drop reason, partition layout).
+	Note string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d %10s %-10s", e.Seq, e.At.Round(time.Millisecond), e.Kind)
+	if e.From != "" || e.To != "" {
+		fmt.Fprintf(&b, " %s->%s", e.From, e.To)
+	}
+	if e.Kind == EvSend || e.Kind == EvDeliver || e.Kind == EvDrop || e.Kind == EvDuplicate {
+		fmt.Fprintf(&b, " frame=%d %dB", e.Frame, e.Size)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	return b.String()
+}
+
+type linkKey struct{ from, to string }
+
+type message struct {
+	seq      uint64
+	from, to string
+	frame    byte
+	payload  []byte
+	due      time.Time
+}
+
+// Network is the shared hub all memnet endpoints attach to. It is safe for
+// concurrent use, but determinism requires that sends and deliveries be
+// driven from a single goroutine (the chaos harness's scheduler).
+type Network struct {
+	mu        sync.Mutex
+	nowFn     func() time.Time
+	start     time.Time
+	rng       *rand.Rand
+	defaults  Params
+	links     map[linkKey]Params
+	blocked   map[linkKey]bool
+	lastDue   map[linkKey]time.Time
+	endpoints map[string]*Endpoint
+	queue     []*message
+	msgSeq    uint64
+	evSeq     uint64
+	events    []Event
+}
+
+// New creates a network whose fault decisions derive from seed. now is the
+// time source used for latency bookkeeping and event timestamps; nil means
+// the wall clock (the chaos harness passes its virtual clock's Now).
+func New(seed int64, now func() time.Time) *Network {
+	if now == nil {
+		now = time.Now
+	}
+	return &Network{
+		nowFn:     now,
+		start:     now(),
+		rng:       rand.New(rand.NewSource(seed)),
+		links:     make(map[linkKey]Params),
+		blocked:   make(map[linkKey]bool),
+		lastDue:   make(map[linkKey]time.Time),
+		endpoints: make(map[string]*Endpoint),
+	}
+}
+
+// SetDefaults sets the fault parameters used by links without an explicit
+// override. The zero Params value is a perfect, instant network.
+func (n *Network) SetDefaults(p Params) {
+	n.mu.Lock()
+	n.defaults = p
+	n.mu.Unlock()
+}
+
+// SetLink overrides the fault parameters of the directed link from → to.
+func (n *Network) SetLink(from, to string, p Params) {
+	n.mu.Lock()
+	n.links[linkKey{from, to}] = p
+	n.mu.Unlock()
+}
+
+// SetLinkBoth overrides both directions between a and b.
+func (n *Network) SetLinkBoth(a, b string, p Params) {
+	n.mu.Lock()
+	n.links[linkKey{a, b}] = p
+	n.links[linkKey{b, a}] = p
+	n.mu.Unlock()
+}
+
+// BlockLink cuts the directed link from → to: subsequent and in-flight
+// messages on it are dropped until UnblockLink or Heal.
+func (n *Network) BlockLink(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{from, to}] = true
+	n.logLocked(Event{Kind: EvPartition, From: from, To: to, Note: "directed cut"})
+	n.dropCrossingLocked("cut")
+}
+
+// UnblockLink restores the directed link from → to.
+func (n *Network) UnblockLink(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{from, to})
+	n.logLocked(Event{Kind: EvHeal, From: from, To: to, Note: "directed heal"})
+}
+
+// Partition splits the network into the given groups: every link between
+// two different groups is cut in both directions, and in-flight messages
+// crossing the cut are dropped. Addresses not mentioned in any group keep
+// all their links. Partition replaces any previous partition.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[linkKey]bool)
+	for i, gi := range groups {
+		for j, gj := range groups {
+			if i == j {
+				continue
+			}
+			for _, a := range gi {
+				for _, b := range gj {
+					n.blocked[linkKey{a, b}] = true
+				}
+			}
+		}
+	}
+	layout := make([]string, len(groups))
+	for i, g := range groups {
+		layout[i] = "{" + strings.Join(g, ",") + "}"
+	}
+	n.logLocked(Event{Kind: EvPartition, Note: strings.Join(layout, " | ")})
+	n.dropCrossingLocked("cut")
+}
+
+// Heal removes every cut (directed and partition) at once.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[linkKey]bool)
+	n.logLocked(Event{Kind: EvHeal})
+}
+
+// dropCrossingLocked removes queued messages whose link is now blocked.
+func (n *Network) dropCrossingLocked(reason string) {
+	kept := n.queue[:0]
+	for _, m := range n.queue {
+		if n.blocked[linkKey{m.from, m.to}] {
+			n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: reason})
+			continue
+		}
+		kept = append(kept, m)
+	}
+	n.queue = kept
+}
+
+func (n *Network) logLocked(e Event) {
+	n.evSeq++
+	e.Seq = n.evSeq
+	e.At = n.nowFn().Sub(n.start)
+	n.events = append(n.events, e)
+}
+
+// Events returns a copy of the event log so far.
+func (n *Network) Events() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Event(nil), n.events...)
+}
+
+// EventLog renders the whole event log, one line per event.
+func (n *Network) EventLog() string {
+	events := n.Events()
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pending returns the number of in-flight messages.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// NextDue returns the delivery time of the earliest in-flight message.
+func (n *Network) NextDue() (time.Time, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	i := n.earliestLocked()
+	if i < 0 {
+		return time.Time{}, false
+	}
+	return n.queue[i].due, true
+}
+
+func (n *Network) earliestLocked() int {
+	best := -1
+	for i, m := range n.queue {
+		if best < 0 || m.due.Before(n.queue[best].due) ||
+			(m.due.Equal(n.queue[best].due) && m.seq < n.queue[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// DeliverNext pops the earliest in-flight message (ties broken by send
+// order) and hands it to the destination handler inline. It reports
+// whether a message was processed; messages to closed or disconnected
+// endpoints are consumed and logged as drops.
+func (n *Network) DeliverNext() bool {
+	n.mu.Lock()
+	i := n.earliestLocked()
+	if i < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	m := n.queue[i]
+	n.queue = append(n.queue[:i], n.queue[i+1:]...)
+	if n.blocked[linkKey{m.from, m.to}] {
+		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "cut"})
+		n.mu.Unlock()
+		return true
+	}
+	dst, ok := n.endpoints[m.to]
+	if !ok || dst.closed || !dst.peers[m.from] {
+		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "no connection"})
+		n.mu.Unlock()
+		return true
+	}
+	n.logLocked(Event{Kind: EvDeliver, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload)})
+	handler := dst.handler
+	n.mu.Unlock()
+	// Handler runs outside the lock: it may send, connect or partition.
+	handler.HandleFrame(m.from, m.frame, m.payload)
+	return true
+}
+
+// enqueueLocked applies the link's fault model to one send.
+func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
+	n.logLocked(Event{Kind: EvSend, From: from, To: to, Frame: frame, Size: len(payload)})
+	key := linkKey{from, to}
+	if n.blocked[key] {
+		// The sender cannot tell a partition from slow peers; the loss is
+		// silent, exactly like a TCP write buffered into a dead link.
+		n.logLocked(Event{Kind: EvDrop, From: from, To: to, Frame: frame, Size: len(payload), Note: "partition"})
+		return
+	}
+	p, ok := n.links[key]
+	if !ok {
+		p = n.defaults
+	}
+	if p.Drop > 0 && n.rng.Float64() < p.Drop {
+		n.logLocked(Event{Kind: EvDrop, From: from, To: to, Frame: frame, Size: len(payload), Note: "loss"})
+		return
+	}
+	n.scheduleLocked(key, frame, payload, p)
+	if p.Duplicate > 0 && n.rng.Float64() < p.Duplicate {
+		n.logLocked(Event{Kind: EvDuplicate, From: from, To: to, Frame: frame, Size: len(payload)})
+		n.scheduleLocked(key, frame, payload, p)
+	}
+}
+
+func (n *Network) scheduleLocked(key linkKey, frame byte, payload []byte, p Params) {
+	due := n.nowFn().Add(p.delay(n.rng))
+	reordered := p.Reorder > 0 && n.rng.Float64() < p.Reorder
+	if !reordered && due.Before(n.lastDue[key]) {
+		due = n.lastDue[key]
+	}
+	if due.After(n.lastDue[key]) {
+		n.lastDue[key] = due
+	}
+	n.msgSeq++
+	n.queue = append(n.queue, &message{
+		seq:     n.msgSeq,
+		from:    key.from,
+		to:      key.to,
+		frame:   frame,
+		payload: append([]byte(nil), payload...),
+		due:     due,
+	})
+}
+
+// Listen registers a new endpoint under addr. The address must not be in
+// use by a live endpoint; a closed one may be replaced (node restart).
+func (n *Network) Listen(addr string, h p2p.Handler) (*Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("memnet: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.endpoints[addr]; ok && !old.closed {
+		return nil, fmt.Errorf("memnet: address %s in use", addr)
+	}
+	e := &Endpoint{net: n, addr: addr, handler: h, peers: make(map[string]bool)}
+	n.endpoints[addr] = e
+	return e, nil
+}
+
+// Endpoint is one memnet attachment point, implementing p2p.Transport.
+// All state is guarded by the owning Network's lock.
+type Endpoint struct {
+	net     *Network
+	addr    string
+	handler p2p.Handler
+	peers   map[string]bool
+	closed  bool
+}
+
+var _ p2p.Transport = (*Endpoint)(nil)
+
+// Addr returns the endpoint's symbolic address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Connect establishes a symmetric link with the peer at addr (mirroring
+// the TCP transport's hello handshake). Connecting to self or an existing
+// peer is a no-op; connecting to a missing or closed endpoint fails.
+func (e *Endpoint) Connect(addr string) error {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("memnet: endpoint %s closed", e.addr)
+	}
+	if addr == e.addr || e.peers[addr] {
+		return nil
+	}
+	dst, ok := n.endpoints[addr]
+	if !ok || dst.closed {
+		return fmt.Errorf("memnet: connect %s: connection refused", addr)
+	}
+	e.peers[addr] = true
+	dst.peers[e.addr] = true
+	n.logLocked(Event{Kind: EvConnect, From: e.addr, To: addr})
+	return nil
+}
+
+// Peers returns the connected peer addresses in sorted order.
+func (e *Endpoint) Peers() []string {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return e.sortedPeersLocked()
+}
+
+func (e *Endpoint) sortedPeersLocked() []string {
+	out := make([]string, 0, len(e.peers))
+	for a := range e.peers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send enqueues one frame for a specific peer. A dead peer endpoint fails
+// the send and tears the link down, like a TCP write error.
+func (e *Endpoint) Send(peerAddr string, frameType byte, payload []byte) error {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("memnet: endpoint %s closed", e.addr)
+	}
+	if !e.peers[peerAddr] {
+		return fmt.Errorf("memnet: unknown peer %s", peerAddr)
+	}
+	if dst, ok := n.endpoints[peerAddr]; !ok || dst.closed {
+		delete(e.peers, peerAddr)
+		n.logLocked(Event{Kind: EvDisconnect, From: e.addr, To: peerAddr, Note: "send failed"})
+		return fmt.Errorf("memnet: peer %s gone", peerAddr)
+	}
+	n.enqueueLocked(e.addr, peerAddr, frameType, payload)
+	return nil
+}
+
+// Broadcast enqueues one frame for every connected peer, in sorted
+// address order so fault sampling is deterministic. Dead peers count as
+// failed and are disconnected.
+func (e *Endpoint) Broadcast(frameType byte, payload []byte) (delivered, failed int) {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return 0, 0
+	}
+	for _, addr := range e.sortedPeersLocked() {
+		if dst, ok := n.endpoints[addr]; !ok || dst.closed {
+			delete(e.peers, addr)
+			n.logLocked(Event{Kind: EvDisconnect, From: e.addr, To: addr, Note: "send failed"})
+			failed++
+			continue
+		}
+		n.enqueueLocked(e.addr, addr, frameType, payload)
+		delivered++
+	}
+	return delivered, failed
+}
+
+// Close detaches the endpoint: peers observe a disconnect (as a TCP read
+// loop would) and in-flight messages to it are dropped at delivery time.
+func (e *Endpoint) Close() error {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	n.logLocked(Event{Kind: EvClose, From: e.addr})
+	// Sorted iteration: disconnect events must appear in a deterministic
+	// order for the same-seed ⇒ same-log guarantee.
+	addrs := make([]string, 0, len(n.endpoints))
+	for a := range n.endpoints {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		other := n.endpoints[a]
+		if other != e && other.peers[e.addr] {
+			delete(other.peers, e.addr)
+			n.logLocked(Event{Kind: EvDisconnect, From: other.addr, To: e.addr, Note: "peer closed"})
+		}
+	}
+	e.peers = make(map[string]bool)
+	return nil
+}

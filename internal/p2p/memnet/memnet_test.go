@@ -1,0 +1,263 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+type recorder struct {
+	frames []recordedFrame
+}
+
+type recordedFrame struct {
+	from    string
+	frame   byte
+	payload string
+}
+
+func (r *recorder) HandleFrame(from string, frameType byte, payload []byte) {
+	r.frames = append(r.frames, recordedFrame{from, frameType, string(payload)})
+}
+
+// pump delivers every in-flight message.
+func pump(n *Network) {
+	for n.DeliverNext() {
+	}
+}
+
+func twoEndpoints(t *testing.T, n *Network) (*Endpoint, *recorder, *Endpoint, *recorder) {
+	t.Helper()
+	ra, rb := &recorder{}, &recorder{}
+	a, err := n.Listen("a", ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("b", rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	return a, ra, b, rb
+}
+
+func TestSendDeliverRoundTrip(t *testing.T) {
+	n := New(1, nil)
+	a, ra, b, rb := twoEndpoints(t, n)
+
+	if err := a.Send("b", p2p.FrameMeta, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", p2p.FrameBlock, []byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	pump(n)
+	if len(rb.frames) != 1 || rb.frames[0].payload != "hi" || rb.frames[0].from != "a" {
+		t.Fatalf("b received %+v", rb.frames)
+	}
+	if len(ra.frames) != 1 || ra.frames[0].payload != "yo" {
+		t.Fatalf("a received %+v", ra.frames)
+	}
+	if got := a.Peers(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("a peers = %v", got)
+	}
+}
+
+func TestConnectRefusedAndUnknownPeer(t *testing.T) {
+	n := New(1, nil)
+	a, err := n.Listen("a", &recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("ghost"); err == nil {
+		t.Fatal("connect to missing endpoint succeeded")
+	}
+	if err := a.Send("ghost", p2p.FrameMeta, nil); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+	if _, err := n.Listen("a", &recorder{}); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestDropFaultLosesEverything(t *testing.T) {
+	n := New(7, nil)
+	n.SetDefaults(Params{Drop: 1})
+	a, _, _, rb := twoEndpoints(t, n)
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", p2p.FrameMeta, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(n)
+	if len(rb.frames) != 0 {
+		t.Fatalf("lossy link delivered %d frames", len(rb.frames))
+	}
+	drops := 0
+	for _, e := range n.Events() {
+		if e.Kind == EvDrop && e.Note == "loss" {
+			drops++
+		}
+	}
+	if drops != 5 {
+		t.Fatalf("logged %d loss drops, want 5", drops)
+	}
+}
+
+func TestDuplicateFaultDeliversTwice(t *testing.T) {
+	n := New(7, nil)
+	n.SetDefaults(Params{Duplicate: 1})
+	a, _, _, rb := twoEndpoints(t, n)
+	if err := a.Send("b", p2p.FrameMeta, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	pump(n)
+	if len(rb.frames) != 2 {
+		t.Fatalf("duplicate link delivered %d frames, want 2", len(rb.frames))
+	}
+}
+
+func TestFIFOWithoutReorder(t *testing.T) {
+	// Random latency but Reorder=0: the link must stay FIFO.
+	now := time.Unix(0, 0)
+	n := New(3, func() time.Time { return now })
+	n.SetDefaults(Params{DelayMin: 0, DelayMax: 50 * time.Millisecond})
+	a, _, _, rb := twoEndpoints(t, n)
+	for i := byte(0); i < 20; i++ {
+		if err := a.Send("b", p2p.FrameMeta, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(n)
+	if len(rb.frames) != 20 {
+		t.Fatalf("delivered %d frames", len(rb.frames))
+	}
+	for i, f := range rb.frames {
+		if f.payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: got payload %d", i, f.payload[0])
+		}
+	}
+}
+
+func TestReorderFaultShufflesDelivery(t *testing.T) {
+	now := time.Unix(0, 0)
+	n := New(3, func() time.Time { return now })
+	n.SetDefaults(Params{Reorder: 1, DelayMin: 0, DelayMax: 50 * time.Millisecond})
+	a, _, _, rb := twoEndpoints(t, n)
+	for i := byte(0); i < 20; i++ {
+		if err := a.Send("b", p2p.FrameMeta, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(n)
+	inOrder := true
+	for i, f := range rb.frames {
+		if f.payload[0] != byte(i) {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("full reorder fault delivered everything in order")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(1, nil)
+	a, _, b, rb := twoEndpoints(t, n)
+
+	// One message in flight when the cut lands: it must be dropped.
+	if err := a.Send("b", p2p.FrameMeta, []byte("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]string{"a"}, []string{"b"})
+	if err := a.Send("b", p2p.FrameMeta, []byte("during")); err != nil {
+		t.Fatal(err)
+	}
+	pump(n)
+	if len(rb.frames) != 0 {
+		t.Fatalf("partitioned link delivered %+v", rb.frames)
+	}
+
+	n.Heal()
+	if err := a.Send("b", p2p.FrameMeta, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", p2p.FrameBlock, nil); err != nil {
+		t.Fatal(err)
+	}
+	pump(n)
+	if len(rb.frames) != 1 || rb.frames[0].payload != "after" {
+		t.Fatalf("healed link delivered %+v", rb.frames)
+	}
+}
+
+func TestBroadcastCountsAndCloseSemantics(t *testing.T) {
+	n := New(1, nil)
+	ra, rb, rc := &recorder{}, &recorder{}, &recorder{}
+	a, _ := n.Listen("a", ra)
+	b, _ := n.Listen("b", rb)
+	c, _ := n.Listen("c", rc)
+	_ = c
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+	if d, f := a.Broadcast(p2p.FrameMeta, []byte("all")); d != 2 || f != 0 {
+		t.Fatalf("broadcast delivered=%d failed=%d", d, f)
+	}
+	pump(n)
+
+	// Closing b: a observes the disconnect, later broadcasts skip it.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peers(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("a peers after close = %v", got)
+	}
+	if d, f := a.Broadcast(p2p.FrameMeta, []byte("again")); d != 1 || f != 0 {
+		t.Fatalf("broadcast after close delivered=%d failed=%d", d, f)
+	}
+	pump(n)
+	if len(rb.frames) != 1 { // only the pre-close broadcast
+		t.Fatalf("closed endpoint received %+v", rb.frames)
+	}
+	if len(rc.frames) != 2 {
+		t.Fatalf("c received %+v", rc.frames)
+	}
+
+	// The address can be reused after close (node restart).
+	if _, err := n.Listen("b", &recorder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogDeterminism(t *testing.T) {
+	run := func() string {
+		// Fixed time source: wall-clock timestamps would differ run to run.
+		now := time.Unix(1700000000, 0)
+		n := New(99, func() time.Time { return now })
+		n.SetDefaults(Params{Drop: 0.3, Duplicate: 0.2, Reorder: 0.5, DelayMax: 10 * time.Millisecond})
+		a, _, b, _ := twoEndpoints(t, n)
+		for i := byte(0); i < 30; i++ {
+			_ = a.Send("b", p2p.FrameMeta, []byte{i})
+			_, _ = b.Broadcast(p2p.FrameBlock, []byte{i, i})
+		}
+		n.Partition([]string{"a"}, []string{"b"})
+		n.Heal()
+		_ = a.Send("b", p2p.FrameData, []byte("tail"))
+		pump(n)
+		return n.EventLog()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("same seed produced different event logs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("empty event log")
+	}
+}

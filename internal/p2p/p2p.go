@@ -75,10 +75,11 @@ type Node struct {
 	ln      net.Listener
 	handler Handler
 
-	mu       sync.Mutex
-	peers    map[string]*peer // keyed by remote listen address
-	closed   bool
-	dispatch sync.Mutex // serializes handler calls
+	mu        sync.Mutex
+	peers     map[string]*peer // keyed by remote listen address
+	closed    bool
+	onSendErr func(peer string, err error)
+	dispatch  sync.Mutex // serializes handler calls
 
 	wg sync.WaitGroup
 }
@@ -106,6 +107,25 @@ func Listen(addr string, h Handler) (*Node, error) {
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetSendErrorHook installs a callback invoked whenever a frame write to a
+// peer fails (the connection is dropped right after). Metrics and test
+// harnesses use it to observe delivery failures that Broadcast would
+// otherwise only report as a count.
+func (n *Node) SetSendErrorHook(fn func(peer string, err error)) {
+	n.mu.Lock()
+	n.onSendErr = fn
+	n.mu.Unlock()
+}
+
+func (n *Node) notifySendErr(peer string, err error) {
+	n.mu.Lock()
+	fn := n.onSendErr
+	n.mu.Unlock()
+	if fn != nil {
+		fn(peer, err)
+	}
+}
 
 // Peers returns the listen addresses of connected peers.
 func (n *Node) Peers() []string {
@@ -248,13 +268,16 @@ func (n *Node) Send(peerAddr string, frameType byte, payload []byte) error {
 	p.writeMu.Unlock()
 	if err != nil {
 		p.conn.Close()
+		n.notifySendErr(peerAddr, err)
 	}
 	return err
 }
 
 // Broadcast writes one frame to every connected peer; per-peer errors drop
-// that peer's connection but do not abort the broadcast.
-func (n *Node) Broadcast(frameType byte, payload []byte) {
+// that peer's connection but do not abort the broadcast. It returns how
+// many peer writes succeeded and how many failed (each failure also fires
+// the send-error hook), so callers can observe partial delivery.
+func (n *Node) Broadcast(frameType byte, payload []byte) (delivered, failed int) {
 	n.mu.Lock()
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
@@ -267,8 +290,13 @@ func (n *Node) Broadcast(frameType byte, payload []byte) {
 		p.writeMu.Unlock()
 		if err != nil {
 			p.conn.Close()
+			n.notifySendErr(p.addr, err)
+			failed++
+			continue
 		}
+		delivered++
 	}
+	return delivered, failed
 }
 
 // writeFrameDeadline writes one frame under WriteTimeout and clears the
@@ -298,18 +326,29 @@ func writeFrame(w io.Writer, frameType byte, payload []byte) error {
 	return err
 }
 
+// frameAllocChunk is the initial (and per-step) allocation granularity of
+// readFrame. A peer that lies about the frame length must actually deliver
+// the bytes before the reader commits more memory, so a forged 64 MiB
+// length prefix followed by a hang costs at most one chunk.
+const frameAllocChunk = 64 << 10
+
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
 		return 0, nil, err
 	}
-	size := binary.BigEndian.Uint32(lenb[:])
+	size := int(binary.BigEndian.Uint32(lenb[:]))
 	if size == 0 || size > MaxFrameSize {
 		return 0, nil, fmt.Errorf("p2p: bad frame size %d", size)
 	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	buf := make([]byte, 0, min(size, frameAllocChunk))
+	for len(buf) < size {
+		step := min(size-len(buf), frameAllocChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	return buf[0], buf[1:], nil
 }

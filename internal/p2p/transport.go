@@ -1,0 +1,35 @@
+package p2p
+
+// Transport is the node-to-node messaging abstraction the live stack runs
+// on. The production implementation is the TCP Node in this package; tests
+// plug in internal/p2p/memnet's in-memory fault-injecting network so the
+// same livenode code can be driven deterministically through partitions,
+// loss, reordering and crashes.
+//
+// Addresses are opaque strings: TCP listen addresses for the real network,
+// stable symbolic names ("node00") for the in-memory one. Inbound frames
+// are delivered to the Handler the transport was created with; calls are
+// serialized per transport, so handlers need no synchronization against
+// each other.
+type Transport interface {
+	// Addr returns this endpoint's address, as peers would dial it.
+	Addr() string
+	// Connect establishes a (symmetric) link to the peer at addr.
+	// Connecting to self or an already-connected peer is a no-op.
+	Connect(addr string) error
+	// Peers returns the addresses of currently connected peers.
+	Peers() []string
+	// Send writes one frame to a specific peer.
+	Send(peerAddr string, frameType byte, payload []byte) error
+	// Broadcast writes one frame to every connected peer and reports how
+	// many sends were handed to the wire and how many failed outright
+	// (dead connection, closed endpoint). A frame the network later loses
+	// in flight still counts as delivered here — like TCP, the sender only
+	// observes local write failures.
+	Broadcast(frameType byte, payload []byte) (delivered, failed int)
+	// Close shuts the endpoint down; subsequent sends fail.
+	Close() error
+}
+
+// The TCP node is the reference Transport implementation.
+var _ Transport = (*Node)(nil)
