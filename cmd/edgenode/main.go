@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/livenode"
 	"repro/internal/pos"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,11 +51,23 @@ func main() {
 		publish    = flag.Duration("publish", 0, "publish a demo data item this often (0 = never)")
 		dataDir    = flag.String("data-dir", "", "directory for the durable block WAL and data store (empty = in-memory)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always|batch|none")
+		metricsAdr = flag.String("metrics-addr", "", "HTTP address serving /metrics (JSON) and /debug/vars (expvar); empty = disabled")
 	)
 	flag.Parse()
 
 	if *index < 0 || *index >= *rosterSize {
 		log.Fatalf("index %d out of roster [0,%d)", *index, *rosterSize)
+	}
+	// Validate -fsync up front: a typo must be a startup error even when no
+	// -data-dir makes the policy moot, not a silently ignored flag.
+	policy, err := store.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		if st, err := os.Stat(*dataDir); err == nil && !st.IsDir() {
+			log.Fatalf("-data-dir %s exists but is not a directory", *dataDir)
+		}
 	}
 	rng := rand.New(rand.NewSource(*rosterSeed))
 	idents := make([]*identity.Identity, *rosterSize)
@@ -67,13 +81,11 @@ func main() {
 		epoch = time.Unix(*epochUnix, 0)
 	}
 
+	reg := telemetry.NewRegistry()
+
 	var nodeStore core.Store
 	if *dataDir != "" {
-		policy, err := store.ParseSyncPolicy(*fsync)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := store.Open(*dataDir, store.Options{Sync: policy})
+		st, err := store.Open(*dataDir, store.Options{Sync: policy, Metrics: store.NewMetrics(reg)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,6 +105,7 @@ func main() {
 		Epoch:       epoch,
 		ListenAddr:  *listen,
 		Store:       nodeStore,
+		Telemetry:   reg,
 		OnBlock: func(b *block.Block) {
 			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
 		},
@@ -103,6 +116,15 @@ func main() {
 	defer node.Close()
 	log.Printf("node %d (%s) listening on %s, epoch %d, t0 %v",
 		*index, accounts[*index].Short(), node.Addr(), epoch.Unix(), *t0)
+
+	if *metricsAdr != "" {
+		go func() {
+			log.Printf("metrics on http://%s/metrics (expvar at /debug/vars)", *metricsAdr)
+			if err := http.ListenAndServe(*metricsAdr, telemetry.Handler(reg)); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	if *peersFlag != "" {
 		for _, p := range strings.Split(*peersFlag, ",") {

@@ -291,6 +291,27 @@ func TestRecentCacheGrow(t *testing.T) {
 	}
 }
 
+// Regression: Heights used to return the internal FIFO slice, so a caller
+// mutating the result (or holding it across an eviction, which rewrites the
+// backing array in place) corrupted or observed corrupted cache state.
+func TestRecentCacheHeightsIsACopy(t *testing.T) {
+	c := NewRecentCache(2)
+	c.Push(1)
+	c.Push(2)
+
+	got := c.Heights()
+	got[0] = 99 // must not write through to the cache
+	if !c.Contains(1) || c.Contains(99) {
+		t.Fatal("mutating Heights() result corrupted the cache")
+	}
+
+	before := c.Heights()
+	c.Push(3) // evicts 1 and shifts the backing array in place
+	if before[0] != 1 || before[1] != 2 {
+		t.Fatalf("snapshot taken before eviction changed underneath the caller: %v", before)
+	}
+}
+
 func TestRecentCacheDuplicatePush(t *testing.T) {
 	c := NewRecentCache(3)
 	c.Push(5)

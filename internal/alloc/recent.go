@@ -74,5 +74,9 @@ func (c *RecentCache) Contains(height uint64) bool {
 	return false
 }
 
-// Heights returns the cached heights oldest-first (do not modify).
-func (c *RecentCache) Heights() []uint64 { return c.fifo }
+// Heights returns a copy of the cached heights, oldest-first. A copy is
+// required: the internal FIFO is rewritten in place by eviction, so handing
+// it out would let callers observe (or cause) aliased mutation.
+func (c *RecentCache) Heights() []uint64 {
+	return append([]uint64(nil), c.fifo...)
+}

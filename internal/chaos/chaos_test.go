@@ -33,6 +33,7 @@ func newCluster(t *testing.T, opts Options) *Cluster {
 		}
 		log := c.Net.EventLog()
 		t.Logf("faultnet event log (%d events):\n%s", len(c.Net.Events()), log)
+		t.Logf("telemetry at failure:\n%s", c.TelemetrySummary())
 		if dir := os.Getenv("CHAOS_LOG_DIR"); dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err == nil {
 				name := strings.ReplaceAll(t.Name(), "/", "_")
@@ -105,6 +106,18 @@ func TestChaosCrashRestart(t *testing.T) {
 	if got := c.Node(0).Height(); got < preCrash {
 		t.Fatalf("restarted node recovered to height %d, had %d before crash", got, preCrash)
 	}
+	// Telemetry cross-check: the registry survives the crash, so the
+	// recovery counter must show exactly the pre-crash chain replayed from
+	// the WAL (SyncAlways ⇒ every adopted block was durable; genesis is
+	// never persisted, so WAL blocks == tip index).
+	snap := c.NodeTelemetry(0).Snapshot()
+	if got := snap.Counter("store.recovery.blocks"); got != preCrash {
+		t.Fatalf("store.recovery.blocks = %d, want pre-crash height %d\n%s",
+			got, preCrash, c.TelemetrySummary())
+	}
+	if snap.Counter("store.wal.appends") == 0 {
+		t.Fatalf("store.wal.appends = 0 despite a persistent mining node\n%s", c.TelemetrySummary())
+	}
 	if err := c.Settle(5 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -140,6 +153,18 @@ func TestChaosLossyLinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkInvariants(t, c)
+	// The fault counters must reflect the configured 25% loss: some sends
+	// dropped, and enough delivered for consensus to converge anyway.
+	net := c.NetTelemetry().Snapshot()
+	if net.Counter("memnet.drops") == 0 {
+		t.Fatalf("memnet.drops = 0 with Drop=0.25 — fault injection inert\n%s", c.TelemetrySummary())
+	}
+	if net.Counter("memnet.delivered") == 0 {
+		t.Fatalf("memnet.delivered = 0 yet the cluster converged\n%s", c.TelemetrySummary())
+	}
+	if s, d := net.Counter("memnet.sends"), net.Counter("memnet.drops"); d >= s {
+		t.Fatalf("memnet.drops (%d) >= memnet.sends (%d)", d, s)
+	}
 }
 
 // TestChaosReorderDuplicate delivers duplicated and reordered frames; the
@@ -192,6 +217,22 @@ func TestChaosForkQReconciliation(t *testing.T) {
 		t.Fatalf("adopted chain height %d shorter than longest partition suffix %d", adopted.Index, longest)
 	}
 	checkInvariants(t, c) // includes Q_i/S_i reconciliation against the adopted chain
+	// Divergence was asserted above, so at least one side abandoned its
+	// suffix for the other's longer chain: the fork-adoption counters must
+	// have seen it.
+	var adoptions uint64
+	for i := 0; i < 4; i++ {
+		adoptions += c.NodeTelemetry(i).Snapshot().Counter("livenode.fork.adoptions")
+	}
+	if adoptions == 0 {
+		t.Fatalf("no livenode.fork.adoptions counted despite divergent partitions\n%s", c.TelemetrySummary())
+	}
+	// The height gauge must track the adopted tip on every node.
+	for i := 0; i < 4; i++ {
+		if g := c.NodeTelemetry(i).Snapshot().Gauge("livenode.height"); g != int64(adopted.Index) {
+			t.Fatalf("node %d livenode.height gauge = %d, tip index = %d", i, g, adopted.Index)
+		}
+	}
 	for i, n := range c.Nodes() {
 		if err := CheckPrefixPreserved(prefix, n); err != nil {
 			t.Fatalf("node %d: %v", i, err)

@@ -3,6 +3,8 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/p2p/memnet"
 	"repro/internal/pos"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Options configure a chaos cluster.
@@ -51,6 +54,11 @@ type Cluster struct {
 	idents   []*identity.Identity
 	accounts []identity.Address
 	nodes    []*livenode.Node // nil while crashed
+
+	// Telemetry registries persist across Crash/Restart so counters
+	// accumulate over a node's whole lifetime, not one incarnation.
+	netReg   *telemetry.Registry
+	nodeRegs []*telemetry.Registry
 }
 
 // GenesisSeed is the fixed genesis seed all chaos clusters share.
@@ -80,6 +88,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	c.Net = memnet.New(opts.Seed, c.Clock.Now)
 	c.Net.SetDefaults(opts.Faults)
+	c.netReg = telemetry.NewRegistry()
+	c.Net.SetMetrics(memnet.NewMetrics(c.netReg))
+	c.nodeRegs = make([]*telemetry.Registry, opts.N)
+	for i := range c.nodeRegs {
+		c.nodeRegs[i] = telemetry.NewRegistry()
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	c.idents = make([]*identity.Identity, opts.N)
 	c.accounts = make([]identity.Address, opts.N)
@@ -100,7 +114,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 func (c *Cluster) startNode(i int) error {
 	var st core.Store
 	if c.opts.DataDirs != nil && c.opts.DataDirs[i] != "" {
-		s, err := store.Open(c.opts.DataDirs[i], store.Options{Sync: store.SyncAlways})
+		s, err := store.Open(c.opts.DataDirs[i], store.Options{
+			Sync:    store.SyncAlways,
+			Metrics: store.NewMetrics(c.nodeRegs[i]),
+		})
 		if err != nil {
 			return fmt.Errorf("chaos: open store %d: %w", i, err)
 		}
@@ -117,6 +134,7 @@ func (c *Cluster) startNode(i int) error {
 		Store:           st,
 		StorageCapacity: c.opts.StorageCapacity,
 		CheckpointEvery: c.opts.CheckpointEvery,
+		Telemetry:       c.nodeRegs[i],
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: start node %d: %w", i, err)
@@ -127,6 +145,37 @@ func (c *Cluster) startNode(i int) error {
 
 // Node returns node i (nil while crashed).
 func (c *Cluster) Node(i int) *livenode.Node { return c.nodes[i] }
+
+// NodeTelemetry returns node i's telemetry registry. The registry outlives
+// crashes: counters keep accumulating across Restart.
+func (c *Cluster) NodeTelemetry(i int) *telemetry.Registry { return c.nodeRegs[i] }
+
+// NetTelemetry returns the fault network's telemetry registry.
+func (c *Cluster) NetTelemetry() *telemetry.Registry { return c.netReg }
+
+// TelemetrySummary renders the network counters and each node's counters
+// and gauges as one human-readable block — attached to invariant failures
+// so a broken run carries its own postmortem numbers.
+func (c *Cluster) TelemetrySummary() string {
+	var b strings.Builder
+	writeCounters := func(label string, snap telemetry.Snapshot) {
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%s:", label)
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, snap.Counters[name])
+		}
+		b.WriteByte('\n')
+	}
+	writeCounters("net", c.netReg.Snapshot())
+	for i, reg := range c.nodeRegs {
+		writeCounters(fmt.Sprintf("node%02d", i), reg.Snapshot())
+	}
+	return b.String()
+}
 
 // Nodes returns the live nodes.
 func (c *Cluster) Nodes() []*livenode.Node {

@@ -14,6 +14,7 @@ package livenode
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/p2p"
 	"repro/internal/pos"
+	"repro/internal/telemetry"
 )
 
 // Config configures one live node.
@@ -70,6 +72,13 @@ type Config struct {
 	OnBlock func(b *block.Block)
 	// OnData, if set, is called when requested data content arrives.
 	OnData func(id meta.DataID, content []byte)
+	// Telemetry, when non-nil, receives the node's runtime metrics
+	// ("livenode.*": mining attempts vs. blocks won, fork adoptions,
+	// chain-sync rounds, data-fetch latency, per-node S_i/Q_i gauges) and
+	// — for the default TCP transport — the p2p frame counters. Pass the
+	// same registry to store.Options.Metrics to get the persistence
+	// metrics alongside. nil disables collection.
+	Telemetry *telemetry.Registry
 }
 
 // Node is a live blockchain node.
@@ -79,20 +88,71 @@ type Node struct {
 	net     p2p.Transport
 	clock   Clock
 
-	mu        sync.Mutex
-	ch        *chain.Chain
-	ledger    *pos.Ledger
-	view      *StorageViewLite
-	planner   *alloc.Planner
-	topo      *netsim.Topology
-	pool      map[meta.DataID]*meta.Item
-	store     core.Store
-	replaying bool // WAL replay in progress: skip re-persisting/fetching
-	sinceCkpt int  // blocks adopted since the last store checkpoint
-	storeErr  error
-	mineTimer Timer
-	closed    bool
-	onData    func(id meta.DataID, content []byte)
+	mu         sync.Mutex
+	ch         *chain.Chain
+	ledger     *pos.Ledger
+	view       *StorageViewLite
+	planner    *alloc.Planner
+	topo       *netsim.Topology
+	pool       map[meta.DataID]*meta.Item
+	store      core.Store
+	replaying  bool // WAL replay in progress: skip re-persisting/fetching
+	sinceCkpt  int  // blocks adopted since the last store checkpoint
+	storeErr   error
+	mineTimer  Timer
+	closed     bool
+	onData     func(id meta.DataID, content []byte)
+	fetchStart map[meta.DataID]time.Time // pending data fetches, for latency
+
+	tel *nodeMetrics
+}
+
+// nodeMetrics is the node's telemetry bundle; every field is nil-safe so
+// a node without a registry pays only the no-op calls.
+type nodeMetrics struct {
+	miningAttempts *telemetry.Counter // mine() fired (incl. lost races)
+	blocksWon      *telemetry.Counter // own blocks sealed and adopted
+	blocksAdopted  *telemetry.Counter // live blocks appended (any miner)
+	blocksReplayed *telemetry.Counter // blocks replayed from the WAL
+	forkAdoptions  *telemetry.Counter // longer-chain replacements accepted
+	chainSyncs     *telemetry.Counter // chain-request rounds initiated
+	dataFetchNs    *telemetry.Histogram
+	height         *telemetry.Gauge
+	sGauges        []*telemetry.Gauge // per roster node stake S_i
+	qGauges        []*telemetry.Gauge // per roster node storage credit Q_i
+	events         *telemetry.Ring
+}
+
+func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
+	m := &nodeMetrics{
+		miningAttempts: reg.Counter("livenode.mining.attempts"),
+		blocksWon:      reg.Counter("livenode.mining.blocks_won"),
+		blocksAdopted:  reg.Counter("livenode.blocks.adopted"),
+		blocksReplayed: reg.Counter("livenode.blocks.replayed"),
+		forkAdoptions:  reg.Counter("livenode.fork.adoptions"),
+		chainSyncs:     reg.Counter("livenode.chainsync.rounds"),
+		dataFetchNs:    reg.Histogram("livenode.data.fetch_ns"),
+		height:         reg.Gauge("livenode.height"),
+		events:         reg.Events(),
+	}
+	if reg != nil {
+		m.sGauges = make([]*telemetry.Gauge, rosterN)
+		m.qGauges = make([]*telemetry.Gauge, rosterN)
+		for i := 0; i < rosterN; i++ {
+			m.sGauges[i] = reg.Gauge(fmt.Sprintf("livenode.ledger.s.%02d", i))
+			m.qGauges[i] = reg.Gauge(fmt.Sprintf("livenode.ledger.q.%02d", i))
+		}
+	}
+	return m
+}
+
+// updateChainGauges refreshes height and the S_i/Q_i gauges (n.mu held).
+func (n *Node) updateChainGauges() {
+	n.tel.height.Set(int64(n.ch.Height()))
+	for i := range n.tel.sGauges {
+		n.tel.sGauges[i].Set(int64(n.ledger.S(i)))
+		n.tel.qGauges[i].Set(int64(n.ledger.Q(i)))
+	}
 }
 
 // StorageViewLite tracks chain-derived per-node storage usage for the
@@ -171,15 +231,17 @@ func New(cfg Config) (*Node, error) {
 		return nil, errors.New("livenode: identity not in account roster")
 	}
 	n := &Node{
-		cfg:     cfg,
-		selfIdx: selfIdx,
-		clock:   cfg.Clock,
-		ledger:  pos.NewLedger(cfg.Accounts),
-		view:    newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
-		planner: alloc.NewPlanner(1),
-		pool:    make(map[meta.DataID]*meta.Item),
-		store:   cfg.Store,
-		onData:  cfg.OnData,
+		cfg:        cfg,
+		selfIdx:    selfIdx,
+		clock:      cfg.Clock,
+		ledger:     pos.NewLedger(cfg.Accounts),
+		view:       newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
+		planner:    alloc.NewPlanner(1),
+		pool:       make(map[meta.DataID]*meta.Item),
+		store:      cfg.Store,
+		onData:     cfg.OnData,
+		fetchStart: make(map[meta.DataID]time.Time),
+		tel:        newNodeMetrics(cfg.Telemetry, len(cfg.Accounts)),
 	}
 	// Clique topology: every pair 1 hop (full TCP mesh).
 	positions := make([]geo.Point, len(cfg.Accounts))
@@ -199,6 +261,11 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.net = transport
+	// The default TCP transport gets the p2p frame counters; custom
+	// transports (memnet) wire their own metrics at the network level.
+	if tn, ok := transport.(*p2p.Node); ok && cfg.Telemetry != nil {
+		tn.SetMetrics(p2p.NewMetrics(cfg.Telemetry))
+	}
 
 	n.mu.Lock()
 	n.scheduleMiningLocked()
@@ -218,6 +285,7 @@ func (n *Node) Connect(addrs ...string) error {
 	}
 	// Small grace for the handshake, then sync.
 	n.clock.Sleep(50 * time.Millisecond)
+	n.tel.chainSyncs.Inc()
 	n.net.Broadcast(p2p.FrameChainRequest, nil)
 	return nil
 }
@@ -377,5 +445,10 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 // RequestData asks all peers for a data item; the first holder to respond
 // wins and OnData fires.
 func (n *Node) RequestData(id meta.DataID) {
+	n.mu.Lock()
+	if _, pending := n.fetchStart[id]; !pending {
+		n.fetchStart[id] = n.clock.Now()
+	}
+	n.mu.Unlock()
 	n.net.Broadcast(p2p.FrameDataRequest, id[:])
 }

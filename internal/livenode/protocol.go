@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -28,24 +29,39 @@ func (n *Node) preAppend(prev, b *block.Block) error {
 
 var errTimestampFuture = errors.New("livenode: block timestamp in the future")
 
+// noteStoreErrLocked records a persistence error: the first one sticks in
+// storeErr (the API contract), every one lands in the telemetry event
+// ring for postmortems (n.mu held).
+func (n *Node) noteStoreErrLocked(err error) {
+	if err == nil {
+		return
+	}
+	if n.storeErr == nil {
+		n.storeErr = err
+	}
+	n.tel.events.RecordAt(n.clock.Now(), "store_error", err.Error())
+}
+
 // postAppend applies side effects of an adopted block (n.mu held).
 func (n *Node) postAppend(b *block.Block) {
 	if err := n.ledger.ApplyBlock(b); err != nil {
 		panic("livenode: ledger apply: " + err.Error())
 	}
 	n.view.apply(b)
+	if n.replaying {
+		n.tel.blocksReplayed.Inc()
+	} else {
+		n.tel.blocksAdopted.Inc()
+	}
+	n.updateChainGauges()
 	if !n.replaying {
 		// Durably log the block before acting on it; replayed blocks are
 		// already in the WAL.
-		if err := n.store.AppendBlock(b); err != nil && n.storeErr == nil {
-			n.storeErr = err
-		}
+		n.noteStoreErrLocked(n.store.AppendBlock(b))
 		n.sinceCkpt++
 		if n.sinceCkpt >= n.cfg.CheckpointEvery {
 			n.sinceCkpt = 0
-			if err := n.store.Checkpoint(b.Index, b.Hash); err != nil && n.storeErr == nil {
-				n.storeErr = err
-			}
+			n.noteStoreErrLocked(n.store.Checkpoint(b.Index, b.Hash))
 			n.pruneExpiredLocked()
 		}
 	}
@@ -87,12 +103,8 @@ func (n *Node) replayRecovered() {
 	defer func() { n.replaying = false }()
 	for i, b := range recovered {
 		if err := n.ch.AppendTrusted(b); err != nil {
-			if n.storeErr == nil {
-				n.storeErr = err
-			}
-			if rerr := n.store.ResetChain(recovered[:i]); rerr != nil && n.storeErr == nil {
-				n.storeErr = rerr
-			}
+			n.noteStoreErrLocked(err)
+			n.noteStoreErrLocked(n.store.ResetChain(recovered[:i]))
 			return
 		}
 	}
@@ -146,8 +158,15 @@ func (n *Node) scheduleMiningLocked() {
 // mine assembles and broadcasts the next block if the round is still open.
 func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	// Every timer fire is an attempt; attempts minus blocks_won measures
+	// rounds lost to faster miners or stale tips.
+	n.tel.miningAttempts.Inc()
 	prev := n.ch.Tip()
-	if n.closed || prev.Hash != prevHash {
+	if prev.Hash != prevHash {
 		n.mu.Unlock()
 		return
 	}
@@ -194,6 +213,8 @@ func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
 		n.mu.Unlock()
 		return
 	}
+	n.tel.blocksWon.Inc()
+	n.tel.events.RecordAt(n.clock.Now(), "block_won", fmt.Sprintf("height %d, %d items", blk.Index, len(blk.Items)))
 	n.scheduleMiningLocked()
 	n.mu.Unlock()
 	n.net.Broadcast(p2p.FrameBlock, blk.Encode())
@@ -230,6 +251,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			// (Naivechain-style resolution). Duplicates — common on lossy
 			// links that re-deliver — carry no new information and must not
 			// trigger an O(chain) sync.
+			n.tel.chainSyncs.Inc()
 			n.net.Send(from, p2p.FrameChainRequest, nil)
 		}
 
@@ -280,6 +302,10 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		}
 		n.mu.Lock()
 		cb := n.onData
+		if start, ok := n.fetchStart[id]; ok {
+			n.tel.dataFetchNs.Observe(int64(n.clock.Now().Sub(start)))
+			delete(n.fetchStart, id)
+		}
 		n.mu.Unlock()
 		if !dup && cb != nil {
 			cb(id, content)
@@ -304,6 +330,7 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	oldHeight := n.ch.Height()
 	replaced, err := n.ch.ReplaceIfLonger(blocks)
 	if err != nil || !replaced {
 		return
@@ -311,6 +338,10 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 	if err := n.ledger.Rebuild(n.ch.Blocks()); err != nil {
 		panic("livenode: ledger rebuild: " + err.Error())
 	}
+	n.tel.forkAdoptions.Inc()
+	n.tel.events.RecordAt(n.clock.Now(), "fork_adopted",
+		fmt.Sprintf("height %d -> %d", oldHeight, n.ch.Height()))
+	n.updateChainGauges()
 	n.view.reset()
 	for _, b := range n.ch.Blocks() {
 		if b.Index > 0 {
@@ -324,9 +355,7 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 	}
 	// The persisted chain was replaced wholesale; rewrite the WAL to
 	// match (genesis is never persisted).
-	if err := n.store.ResetChain(n.ch.Blocks()[1:]); err != nil && n.storeErr == nil {
-		n.storeErr = err
-	}
+	n.noteStoreErrLocked(n.store.ResetChain(n.ch.Blocks()[1:]))
 	n.scheduleMiningLocked()
 }
 

@@ -79,8 +79,11 @@ func Summarize(samples []float64) Summary {
 	}
 }
 
-// percentile reads the p-quantile from sorted samples with nearest-rank
-// interpolation.
+// percentile reads the p-quantile from sorted samples by linear
+// interpolation between closest ranks (the R-7 estimator, numpy's
+// default): the quantile position is p*(n-1), and positions between two
+// sample ranks blend both neighbors instead of snapping to the nearest
+// sample (which would be the nearest-rank method — this is NOT that).
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

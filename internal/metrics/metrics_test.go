@@ -133,6 +133,36 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestPercentileGoldenSmallN pins the interpolation behavior for tiny
+// sample counts, where linear interpolation (R-7: position p*(n-1)) and
+// nearest-rank visibly disagree. These values are the contract: under
+// nearest-rank, n=2 would give P50=1 and P95=3, not the blends below.
+func TestPercentileGoldenSmallN(t *testing.T) {
+	cases := []struct {
+		name     string
+		samples  []float64
+		p50, p95 float64
+	}{
+		// n=1: every quantile is the single sample.
+		{"n1", []float64{7}, 7, 7},
+		// n=2 over {1,3}: position p*(2-1)=p, so P50 = midpoint 2 and
+		// P95 = 1 + 0.95*(3-1) = 2.9.
+		{"n2", []float64{3, 1}, 2, 2.9},
+		// n=3 over {1,3,10}: P50 position 1 lands exactly on the middle
+		// sample; P95 position 1.9 blends 3 and 10: 3 + 0.9*7 = 9.3.
+		{"n3", []float64{10, 1, 3}, 3, 9.3},
+	}
+	for _, tc := range cases {
+		s := Summarize(tc.samples)
+		if math.Abs(s.P50-tc.p50) > 1e-12 {
+			t.Errorf("%s: P50 = %v, want %v", tc.name, s.P50, tc.p50)
+		}
+		if math.Abs(s.P95-tc.p95) > 1e-12 {
+			t.Errorf("%s: P95 = %v, want %v", tc.name, s.P95, tc.p95)
+		}
+	}
+}
+
 func TestDeliverySamples(t *testing.T) {
 	var d DeliverySamples
 	d.Add(time.Second)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/p2p"
+	"repro/internal/telemetry"
 )
 
 // Params configure the fault model of one directed link.
@@ -96,6 +97,39 @@ func (e Event) String() string {
 	return b.String()
 }
 
+// Metrics are the network's fault counters. Counting happens at the same
+// points events are logged and never consults the RNG, so enabling
+// metrics cannot perturb the deterministic event log. All fields are
+// nil-safe; construct with NewMetrics to register under a registry.
+type Metrics struct {
+	// Sends counts every enqueue attempt (before fault sampling).
+	Sends *telemetry.Counter
+	// Delivered counts frames handed to a destination handler.
+	Delivered *telemetry.Counter
+	// Drops counts random in-flight losses (Params.Drop).
+	Drops *telemetry.Counter
+	// Dups counts duplicated deliveries scheduled (Params.Duplicate).
+	Dups *telemetry.Counter
+	// Reorders counts sends whose FIFO clamp was waived (Params.Reorder).
+	Reorders *telemetry.Counter
+	// PartitionKills counts frames destroyed by cuts: sends into a
+	// blocked link, in-flight frames crossing a new cut, and frames whose
+	// destination vanished before delivery.
+	PartitionKills *telemetry.Counter
+}
+
+// NewMetrics registers the fault counters under reg (names "memnet.*").
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Sends:          reg.Counter("memnet.sends"),
+		Delivered:      reg.Counter("memnet.delivered"),
+		Drops:          reg.Counter("memnet.drops"),
+		Dups:           reg.Counter("memnet.dups"),
+		Reorders:       reg.Counter("memnet.reorders"),
+		PartitionKills: reg.Counter("memnet.partition_kills"),
+	}
+}
+
 type linkKey struct{ from, to string }
 
 type message struct {
@@ -115,6 +149,7 @@ type Network struct {
 	start     time.Time
 	rng       *rand.Rand
 	defaults  Params
+	metrics   *Metrics // never nil; swap via SetMetrics
 	links     map[linkKey]Params
 	blocked   map[linkKey]bool
 	lastDue   map[linkKey]time.Time
@@ -136,11 +171,23 @@ func New(seed int64, now func() time.Time) *Network {
 		nowFn:     now,
 		start:     now(),
 		rng:       rand.New(rand.NewSource(seed)),
+		metrics:   &Metrics{},
 		links:     make(map[linkKey]Params),
 		blocked:   make(map[linkKey]bool),
 		lastDue:   make(map[linkKey]time.Time),
 		endpoints: make(map[string]*Endpoint),
 	}
+}
+
+// SetMetrics installs the network's fault counters (see NewMetrics); nil
+// restores the inert default.
+func (n *Network) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	n.mu.Lock()
+	n.metrics = m
+	n.mu.Unlock()
 }
 
 // SetDefaults sets the fault parameters used by links without an explicit
@@ -225,6 +272,7 @@ func (n *Network) dropCrossingLocked(reason string) {
 	kept := n.queue[:0]
 	for _, m := range n.queue {
 		if n.blocked[linkKey{m.from, m.to}] {
+			n.metrics.PartitionKills.Inc()
 			n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: reason})
 			continue
 		}
@@ -301,16 +349,19 @@ func (n *Network) DeliverNext() bool {
 	m := n.queue[i]
 	n.queue = append(n.queue[:i], n.queue[i+1:]...)
 	if n.blocked[linkKey{m.from, m.to}] {
+		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "cut"})
 		n.mu.Unlock()
 		return true
 	}
 	dst, ok := n.endpoints[m.to]
 	if !ok || dst.closed || !dst.peers[m.from] {
+		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "no connection"})
 		n.mu.Unlock()
 		return true
 	}
+	n.metrics.Delivered.Inc()
 	n.logLocked(Event{Kind: EvDeliver, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload)})
 	handler := dst.handler
 	n.mu.Unlock()
@@ -321,11 +372,13 @@ func (n *Network) DeliverNext() bool {
 
 // enqueueLocked applies the link's fault model to one send.
 func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
+	n.metrics.Sends.Inc()
 	n.logLocked(Event{Kind: EvSend, From: from, To: to, Frame: frame, Size: len(payload)})
 	key := linkKey{from, to}
 	if n.blocked[key] {
 		// The sender cannot tell a partition from slow peers; the loss is
 		// silent, exactly like a TCP write buffered into a dead link.
+		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: from, To: to, Frame: frame, Size: len(payload), Note: "partition"})
 		return
 	}
@@ -334,11 +387,13 @@ func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
 		p = n.defaults
 	}
 	if p.Drop > 0 && n.rng.Float64() < p.Drop {
+		n.metrics.Drops.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: from, To: to, Frame: frame, Size: len(payload), Note: "loss"})
 		return
 	}
 	n.scheduleLocked(key, frame, payload, p)
 	if p.Duplicate > 0 && n.rng.Float64() < p.Duplicate {
+		n.metrics.Dups.Inc()
 		n.logLocked(Event{Kind: EvDuplicate, From: from, To: to, Frame: frame, Size: len(payload)})
 		n.scheduleLocked(key, frame, payload, p)
 	}
@@ -347,6 +402,9 @@ func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
 func (n *Network) scheduleLocked(key linkKey, frame byte, payload []byte, p Params) {
 	due := n.nowFn().Add(p.delay(n.rng))
 	reordered := p.Reorder > 0 && n.rng.Float64() < p.Reorder
+	if reordered {
+		n.metrics.Reorders.Inc()
+	}
 	if !reordered && due.Before(n.lastDue[key]) {
 		due = n.lastDue[key]
 	}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,6 +75,7 @@ func (f HandlerFunc) HandleFrame(from string, frameType byte, payload []byte) {
 type Node struct {
 	ln      net.Listener
 	handler Handler
+	metrics atomic.Pointer[Metrics] // never nil; swap via SetMetrics
 
 	mu        sync.Mutex
 	peers     map[string]*peer // keyed by remote listen address
@@ -100,9 +102,19 @@ func Listen(addr string, h Handler) (*Node, error) {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
 	}
 	n := &Node{ln: ln, handler: h, peers: make(map[string]*peer)}
+	n.metrics.Store(&Metrics{}) // inert until SetMetrics
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
+}
+
+// SetMetrics installs the node's telemetry sink (see NewMetrics). Safe to
+// call while traffic flows; nil restores the inert default.
+func (n *Node) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	n.metrics.Store(m)
 }
 
 // Addr returns the node's listen address.
@@ -184,12 +196,15 @@ func (n *Node) Connect(addr string) error {
 
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
+		n.metrics.Load().DialFailures.Inc()
 		return fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
 	if err := writeFrameDeadline(conn, FrameHello, []byte(n.Addr())); err != nil {
+		n.metrics.Load().onSendErr(err)
 		conn.Close()
 		return fmt.Errorf("p2p: hello: %w", err)
 	}
+	n.metrics.Load().onSent(FrameHello, len(n.Addr()))
 	n.wg.Add(1)
 	go n.serveConn(conn, addr)
 	return nil
@@ -246,6 +261,7 @@ func (n *Node) serveConn(conn net.Conn, peerAddr string) {
 		if err != nil {
 			return
 		}
+		n.metrics.Load().onRecv(ft, len(payload))
 		if ft == FrameHello {
 			continue
 		}
@@ -267,10 +283,13 @@ func (n *Node) Send(peerAddr string, frameType byte, payload []byte) error {
 	err := writeFrameDeadline(p.conn, frameType, payload)
 	p.writeMu.Unlock()
 	if err != nil {
+		n.metrics.Load().onSendErr(err)
 		p.conn.Close()
 		n.notifySendErr(peerAddr, err)
+		return err
 	}
-	return err
+	n.metrics.Load().onSent(frameType, len(payload))
+	return nil
 }
 
 // Broadcast writes one frame to every connected peer; per-peer errors drop
@@ -284,18 +303,23 @@ func (n *Node) Broadcast(frameType byte, payload []byte) (delivered, failed int)
 		peers = append(peers, p)
 	}
 	n.mu.Unlock()
+	m := n.metrics.Load()
 	for _, p := range peers {
 		p.writeMu.Lock()
 		err := writeFrameDeadline(p.conn, frameType, payload)
 		p.writeMu.Unlock()
 		if err != nil {
+			m.onSendErr(err)
 			p.conn.Close()
 			n.notifySendErr(p.addr, err)
 			failed++
 			continue
 		}
+		m.onSent(frameType, len(payload))
 		delivered++
 	}
+	m.BroadcastDelivered.Add(delivered)
+	m.BroadcastFailed.Add(failed)
 	return delivered, failed
 }
 

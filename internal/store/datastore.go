@@ -17,8 +17,9 @@ import (
 // fronted by a bounded LRU cache: the paper's ~1 MB data items make the
 // cache the hot path when serving repeated FrameDataRequest fetches.
 type DataStore struct {
-	dir   string
-	cache *lruCache
+	dir     string
+	cache   *lruCache
+	metrics *Metrics // never nil (orInert)
 }
 
 // DefaultCacheBytes is the default LRU budget (64 MiB ≈ 64 paper items).
@@ -36,7 +37,12 @@ func NewDataStore(dir string, cacheBytes int) (*DataStore, error) {
 	if cacheBytes < 0 {
 		cacheBytes = 0
 	}
-	return &DataStore{dir: dir, cache: newLRUCache(cacheBytes)}, nil
+	return &DataStore{dir: dir, cache: newLRUCache(cacheBytes), metrics: (*Metrics)(nil).orInert()}, nil
+}
+
+// setMetrics installs the store's instrumentation (Store.Open wires it).
+func (s *DataStore) setMetrics(m *Metrics) {
+	s.metrics = m.orInert()
 }
 
 func (s *DataStore) path(id meta.DataID) string {
@@ -52,6 +58,7 @@ func (s *DataStore) Put(id meta.DataID, content []byte) error {
 	if meta.HashData(content) != id {
 		return fmt.Errorf("store: content does not hash to %s", id.Short())
 	}
+	s.metrics.DataWrites.Inc()
 	dst := s.path(id)
 	if _, err := os.Stat(dst); err == nil {
 		s.cache.put(id, content)
@@ -87,9 +94,12 @@ func (s *DataStore) Put(id meta.DataID, content []byte) error {
 // touching the disk; cold reads re-verify the content hash so a corrupted
 // file surfaces as a miss rather than as bad data.
 func (s *DataStore) Get(id meta.DataID) ([]byte, bool, error) {
+	s.metrics.DataReads.Inc()
 	if content, ok := s.cache.get(id); ok {
+		s.metrics.LRUHits.Inc()
 		return content, true, nil
 	}
+	s.metrics.LRUMisses.Inc()
 	content, err := os.ReadFile(s.path(id))
 	if err != nil {
 		if os.IsNotExist(err) {

@@ -141,6 +141,52 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 }
 
+// Regression: a zero (or negative) budget means "no cache", but the size
+// check `len(content) > budget` let zero-length entries through, so they
+// accumulated in the map forever (eviction only fires while used > budget).
+func TestLRUCacheZeroBudget(t *testing.T) {
+	for _, budget := range []int{0, -5} {
+		c := newLRUCache(budget)
+		for i := 0; i < 100; i++ {
+			id := meta.HashData([]byte{byte(i)})
+			c.put(id, nil) // zero-length content
+			c.put(id, []byte{byte(i)})
+		}
+		if c.len() != 0 {
+			t.Fatalf("budget %d: cached %d entries, want 0", budget, c.len())
+		}
+	}
+}
+
+// Regression: putting different content under an existing id used to keep
+// the stale bytes (the branch just did MoveToFront), silently serving wrong
+// data forever. Content is content-addressed so this "cannot happen" — which
+// is exactly why a caller bug would have been invisible without this check.
+func TestLRUCacheReplaceDifferingContent(t *testing.T) {
+	c := newLRUCache(10)
+	id := meta.HashData([]byte("x"))
+	c.put(id, []byte("old"))
+	c.put(id, []byte("newer!")) // same id, different (longer) bytes
+	got, ok := c.get(id)
+	if !ok || string(got) != "newer!" {
+		t.Fatalf("get = %q, %v; want the replacement content", got, ok)
+	}
+	if c.used != len("newer!") {
+		t.Fatalf("used = %d after replacement, want %d", c.used, len("newer!"))
+	}
+
+	// Replacement that pushes the cache over budget must evict down.
+	idB := meta.HashData([]byte("y"))
+	c.put(idB, []byte("bb"))       // used = 8
+	c.put(id, []byte("123456789")) // 9 bytes: replacement forces eviction of idB
+	if _, ok := c.get(idB); ok {
+		t.Fatal("over-budget replacement did not evict the LRU entry")
+	}
+	if c.used > 10 {
+		t.Fatalf("used = %d exceeds budget 10", c.used)
+	}
+}
+
 func TestDataStoreCacheServesAfterDiskLoss(t *testing.T) {
 	// The LRU is the hot path: once cached, a read works even if the file
 	// vanishes (and Has still answers from the cache).

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"sync"
 
@@ -43,18 +44,35 @@ func (c *lruCache) get(id meta.DataID) ([]byte, bool) {
 }
 
 func (c *lruCache) put(id meta.DataID, content []byte) {
-	if len(content) > c.budget {
+	// A zero or negative budget means "no cache": without the <= 0 guard,
+	// zero-length entries would pass the size check and accumulate in the
+	// map unboundedly (eviction only fires while used > budget).
+	if c.budget <= 0 || len(content) > c.budget {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[id]; ok {
+		// Content is immutable per id (content-addressed), so the stored
+		// bytes must match. If they somehow differ — a caller bug or hash
+		// collision — keeping the stale entry would silently serve wrong
+		// data forever; replace it and fix the byte accounting instead.
+		e := el.Value.(*lruEntry)
+		if !bytes.Equal(e.content, content) {
+			c.used += len(content) - len(e.content)
+			e.content = content
+		}
 		c.order.MoveToFront(el)
-		return // content is immutable per id (content-addressed)
+		c.evictOverBudgetLocked()
+		return
 	}
 	el := c.order.PushFront(&lruEntry{id: id, content: content})
 	c.entries[id] = el
 	c.used += len(content)
+	c.evictOverBudgetLocked()
+}
+
+func (c *lruCache) evictOverBudgetLocked() {
 	for c.used > c.budget {
 		oldest := c.order.Back()
 		if oldest == nil {

@@ -55,6 +55,9 @@ type Options struct {
 	BatchInterval int64 // nanoseconds; 0 = default
 	// CacheBytes bounds the data-item LRU read cache (default 64 MiB).
 	CacheBytes int
+	// Metrics, when non-nil, receives the store's instrumentation (see
+	// NewMetrics). nil disables collection.
+	Metrics *Metrics
 }
 
 const (
@@ -77,11 +80,15 @@ func Open(dir string, opts Options) (*Store, error) {
 		// A corrupt manifest costs only the verification shortcut.
 		man = Manifest{}
 	}
+	m := opts.Metrics.orInert()
 	blocks, err := RecoverWAL(filepath.Join(dir, walFile))
 	if err != nil {
 		return nil, err
 	}
+	scanned := len(blocks)
 	blocks = validatePrefix(blocks, man.Height)
+	m.RecoveredBlocks.Add(len(blocks))
+	m.RecoveryDropped.Add(scanned - len(blocks))
 	// If validation dropped blocks beyond what the scan kept, rewrite the
 	// WAL to the surviving prefix so the file and memory agree.
 	if err := rewriteIfShorter(filepath.Join(dir, walFile), blocks); err != nil {
@@ -96,6 +103,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		w.Close()
 		return nil, err
 	}
+	ds.setMetrics(m)
 	return &Store{dir: dir, wal: w, data: ds, recovered: blocks, manifest: man}, nil
 }
 

@@ -76,7 +76,8 @@ const (
 
 // WAL is the append-only block log writer.
 type WAL struct {
-	path string
+	path    string
+	metrics *Metrics // never nil (orInert)
 
 	mu       sync.Mutex
 	f        *os.File
@@ -104,6 +105,7 @@ func OpenWAL(path string, opts Options) (*WAL, error) {
 	}
 	w := &WAL{
 		path:     path,
+		metrics:  opts.Metrics.orInert(),
 		f:        f,
 		size:     st.Size(),
 		policy:   opts.Sync,
@@ -131,8 +133,10 @@ func (w *WAL) Append(b *block.Block) error {
 	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
 	copy(rec[recordHeaderSize:], payload)
 
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	defer w.metrics.WALAppendNs.ObserveSince(start)
 	if w.closed {
 		return errors.New("store: wal closed")
 	}
@@ -141,6 +145,7 @@ func (w *WAL) Append(b *block.Block) error {
 	}
 	w.size += int64(len(rec))
 	w.pending++
+	w.metrics.WALAppends.Inc()
 	switch w.policy {
 	case SyncAlways:
 		return w.syncLocked()
@@ -153,9 +158,12 @@ func (w *WAL) Append(b *block.Block) error {
 }
 
 func (w *WAL) syncLocked() error {
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: wal sync: %w", err)
 	}
+	w.metrics.WALSyncs.Inc()
+	w.metrics.WALFsyncNs.ObserveSince(start)
 	w.pending = 0
 	w.lastSync = time.Now()
 	return nil

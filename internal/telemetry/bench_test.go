@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryCounter is the acceptance benchmark for the hot-path
+// contract: one counter increment, expected ≈ single-digit ns and
+// 0 allocs/op (the CI smoke step runs it with -benchmem; the hard
+// assertion lives in TestHotPathNoAllocs).
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTelemetryGauge(b *testing.B) {
+	g := NewRegistry().Gauge("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 31)
+	}
+}
+
+// BenchmarkTelemetryFrameRecvPath models exactly the per-frame metric
+// work internal/p2p does on receive: one frame-type counter, one frame
+// total, one byte count. This is the overhead a live node pays per
+// inbound frame.
+func BenchmarkTelemetryFrameRecvPath(b *testing.B) {
+	r := NewRegistry()
+	var byType [8]*Counter
+	for i := range byType {
+		byType[i] = r.Counter("p2p.frames_recv.type")
+	}
+	frames := r.Counter("p2p.frames_recv")
+	bytes := r.Counter("p2p.bytes_recv")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft := byte(i % 7)
+		byType[ft].Inc()
+		frames.Inc()
+		bytes.Add(512)
+	}
+}
+
+func BenchmarkTelemetrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter(time.Duration(i).String()).Add(i)
+	}
+	h := r.Histogram("lat")
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

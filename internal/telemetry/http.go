@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics     structured JSON Snapshot (counters, gauges, histogram
+//	             summaries, recent events)
+//	/debug/vars  expvar-compatible flat JSON object — every counter and
+//	             gauge as a top-level number, histograms as objects — so
+//	             stock expvar scrapers work unchanged
+//
+// Any other path 404s. cmd/edgenode mounts this on -metrics-addr.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		flat := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+		for n, v := range snap.Counters {
+			flat[n] = v
+		}
+		for n, v := range snap.Gauges {
+			flat[n] = v
+		}
+		for n, v := range snap.Histograms {
+			flat[n] = v
+		}
+		writeJSON(w, flat)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
