@@ -40,6 +40,12 @@ type Options struct {
 	// CheckpointEvery is the store checkpoint cadence in blocks (0 =
 	// livenode default).
 	CheckpointEvery int
+	// Identities, when non-nil, overrides the seeded roster generation
+	// (len must equal N). The differential engine test uses it to run the
+	// exact same key pairs through the sim and the live stack.
+	Identities []*identity.Identity
+	// GenesisSeed overrides the fixed default genesis seed (0 = default).
+	GenesisSeed int64
 }
 
 // Cluster is N live nodes on one fault-injecting in-memory network and one
@@ -61,7 +67,8 @@ type Cluster struct {
 	nodeRegs []*telemetry.Registry
 }
 
-// GenesisSeed is the fixed genesis seed all chaos clusters share.
+// GenesisSeed is the default genesis seed chaos clusters share
+// (Options.GenesisSeed overrides it).
 const GenesisSeed = 42
 
 // Addr returns node i's symbolic transport address.
@@ -78,6 +85,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	if opts.DataDirs != nil && len(opts.DataDirs) != opts.N {
 		return nil, fmt.Errorf("chaos: %d data dirs for %d nodes", len(opts.DataDirs), opts.N)
+	}
+	if opts.Identities != nil && len(opts.Identities) != opts.N {
+		return nil, fmt.Errorf("chaos: %d identities for %d nodes", len(opts.Identities), opts.N)
+	}
+	if opts.GenesisSeed == 0 {
+		opts.GenesisSeed = GenesisSeed
 	}
 	epoch := time.Unix(1700000000, 0) // fixed: virtual time is relative anyway
 	c := &Cluster{
@@ -98,7 +111,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.idents = make([]*identity.Identity, opts.N)
 	c.accounts = make([]identity.Address, opts.N)
 	for i := range c.idents {
-		c.idents[i] = identity.GenerateSeeded(rng)
+		if opts.Identities != nil {
+			c.idents[i] = opts.Identities[i]
+		} else {
+			c.idents[i] = identity.GenerateSeeded(rng)
+		}
 		c.accounts[i] = c.idents[i].Address()
 	}
 	c.nodes = make([]*livenode.Node, opts.N)
@@ -127,7 +144,7 @@ func (c *Cluster) startNode(i int) error {
 		Identity:        c.idents[i],
 		Accounts:        c.accounts,
 		PoS:             c.params,
-		GenesisSeed:     GenesisSeed,
+		GenesisSeed:     c.opts.GenesisSeed,
 		Epoch:           c.Epoch,
 		Clock:           c.Clock,
 		NewTransport:    func(h p2p.Handler) (p2p.Transport, error) { return c.Net.Listen(Addr(i), h) },
@@ -349,7 +366,8 @@ func (c *Cluster) CheckInvariants() error {
 		return err
 	}
 	for i, n := range nodes {
-		if err := CheckLedgerAccounting(n, c.accounts); err != nil {
+		now := c.Clock.Now().Sub(c.Epoch)
+		if err := CheckLedgerAccounting(n, c.accounts, now); err != nil {
 			return fmt.Errorf("live node %d: %w", i, err)
 		}
 	}

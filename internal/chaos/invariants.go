@@ -2,9 +2,11 @@ package chaos
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/chain"
+	"repro/internal/engine"
 	"repro/internal/identity"
 	"repro/internal/livenode"
 	"repro/internal/pos"
@@ -54,18 +56,12 @@ func CheckChainValidity(snapshot []*block.Block, accounts []identity.Address, pa
 // CheckLedgerAccounting verifies that the node's live stake ledger (S_i,
 // Q_i) and its placement storage view match an independent recomputation
 // from the node's own chain replica — i.e. derived state never drifts from
-// chain contents across forks, replays and restarts.
-func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address) error {
+// chain contents across forks, replays and restarts. The storage view is
+// recomputed through a fresh engine.StorageView replay at virtual time
+// now, so expiry handling is covered too.
+func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address, now time.Duration) error {
 	snap := n.ChainSnapshot()
 	ref := pos.NewLedger(accounts)
-	refUsed := make([]int, len(accounts))
-	credit := func(ns []int) {
-		for _, i := range ns {
-			if i >= 0 && i < len(refUsed) {
-				refUsed[i]++
-			}
-		}
-	}
 	for _, b := range snap {
 		if b.Index == 0 {
 			continue
@@ -73,12 +69,9 @@ func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address) error 
 		if err := ref.ApplyBlock(b); err != nil {
 			return fmt.Errorf("chaos: recompute ledger: %w", err)
 		}
-		for _, it := range b.Items {
-			credit(it.StoringNodes)
-		}
-		credit(b.StoringNodes)
-		credit(b.RecentAssignees)
 	}
+	refView := engine.NewStorageView(len(accounts), 0, 0, 1, 0)
+	refView.Rebuild(snap)
 	gotS, gotQ := n.LedgerStats()
 	gotUsed := n.StorageUsed()
 	for i := range accounts {
@@ -88,8 +81,8 @@ func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address) error 
 		if gotQ[i] != ref.Q(i) {
 			return fmt.Errorf("chaos: Q_%d = %d, chain says %d", i, gotQ[i], ref.Q(i))
 		}
-		if gotUsed[i] != refUsed[i] {
-			return fmt.Errorf("chaos: storage view used_%d = %d, chain says %d", i, gotUsed[i], refUsed[i])
+		if want := refView.Used(i, now); gotUsed[i] != want {
+			return fmt.Errorf("chaos: storage view used_%d = %d, chain says %d", i, gotUsed[i], want)
 		}
 	}
 	return nil

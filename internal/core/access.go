@@ -8,7 +8,6 @@ import (
 	"repro/internal/block"
 	"repro/internal/meta"
 	"repro/internal/netsim"
-	"repro/internal/pos"
 )
 
 func errorsIs(err, target error) bool { return errors.Is(err, target) }
@@ -160,7 +159,7 @@ func (n *Node) requestFailed(req *pendingRequest) {
 
 // findItem looks the latest version of a metadata item up.
 func (n *Node) findItem(id meta.DataID) *meta.Item {
-	return n.liveItems[id]
+	return n.eng.LiveItem(id)
 }
 
 // FindMetadata searches the node's on-chain metadata index for items
@@ -170,7 +169,7 @@ func (n *Node) findItem(id meta.DataID) *meta.Item {
 func (n *Node) FindMetadata(q meta.Query) []*meta.Item {
 	now := n.sys.engine.Now()
 	var out []*meta.Item
-	for _, it := range n.liveItems {
+	for _, it := range n.eng.LiveItems() {
 		if !it.Expired(now) && q.Matches(it) {
 			out = append(out, it)
 		}
@@ -293,7 +292,7 @@ func (n *Node) tryNextSyncCandidate() {
 		s.timer = nil
 	}
 	// Refresh the range: drained blocks may have shrunk it.
-	from, to, ok := n.ch.MissingRange()
+	from, to, ok := n.eng.Chain().MissingRange()
 	if !ok {
 		n.cancelSync()
 		return
@@ -333,9 +332,9 @@ func (n *Node) cancelSync() {
 
 func (n *Node) handleBlockRangeRequest(from int, m msgBlockRangeRequest) {
 	var blocks []*block.Block
-	for h := m.from; h <= m.to && h <= n.ch.Height(); h++ {
+	for h := m.from; h <= m.to && h <= n.eng.Height(); h++ {
 		if n.servableBlock(h) {
-			if b := n.ch.At(h); b != nil {
+			if b := n.eng.Chain().At(h); b != nil {
 				blocks = append(blocks, b)
 			}
 		}
@@ -348,7 +347,7 @@ func (n *Node) handleBlockRangeRequest(from int, m msgBlockRangeRequest) {
 func (n *Node) handleBlockRangeResponse(m msgBlockRangeResponse) {
 	appendedAny := false
 	for _, b := range m.blocks {
-		appended, err := n.ch.Add(b)
+		appended, err := n.eng.ReceiveBlock(b)
 		if err == nil && appended > 0 {
 			appendedAny = true
 		}
@@ -356,7 +355,7 @@ func (n *Node) handleBlockRangeResponse(m msgBlockRangeResponse) {
 	if appendedAny {
 		n.scheduleMining()
 	}
-	if _, _, stillMissing := n.ch.MissingRange(); !stillMissing {
+	if _, _, stillMissing := n.eng.Chain().MissingRange(); !stillMissing {
 		n.cancelSync()
 	} else if n.sync != nil {
 		n.tryNextSyncCandidate()
@@ -370,64 +369,21 @@ func (n *Node) requestChain(target int) {
 }
 
 func (n *Node) handleChainRequest(from int) {
-	n.sys.net.Unicast(netsim.NodeID(n.id), netsim.NodeID(from), msgChainResponse{blocks: n.ch.Blocks()})
+	n.sys.net.Unicast(netsim.NodeID(n.id), netsim.NodeID(from), msgChainResponse{blocks: n.eng.Chain().Blocks()})
 }
 
 // lastCheckpoint returns the height of the newest finalized block under
 // the checkpoint rule (0 when disabled or none reached yet).
-func (n *Node) lastCheckpoint() uint64 {
-	k := uint64(n.sys.cfg.CheckpointInterval)
-	if k == 0 {
-		return 0
-	}
-	return (n.ch.Height() / k) * k
-}
+func (n *Node) lastCheckpoint() uint64 { return n.eng.LastCheckpoint() }
 
+// handleChainResponse runs Naivechain-style fork resolution through the
+// engine (length check, checkpoint rule, scratch-ledger claim replay,
+// derived-state rebuild) and layers the adapter's cleanup on adoption.
 func (n *Node) handleChainResponse(m msgChainResponse) {
-	if len(m.blocks) <= n.ch.Len() {
-		return
-	}
-	// Checkpoint rule (Section V-D): a candidate that rewrites history at
-	// or below our newest checkpoint is refused even if longer.
-	if cp := n.lastCheckpoint(); cp > 0 {
-		if uint64(len(m.blocks)) <= cp || m.blocks[cp].Hash != n.ch.At(cp).Hash {
-			return
-		}
-	}
-	// Replay PoS claims against a scratch ledger before adopting (PoW-mode
-	// blocks carry no stake claims; structural validation happens inside
-	// ReplaceIfLonger).
-	if n.sys.cfg.Consensus != ConsensusPoW {
-		scratch := pos.NewLedger(n.sys.accounts)
-		scratch.RescaleEvery = n.sys.cfg.StakeRescaleEvery
-		for i := 1; i < len(m.blocks); i++ {
-			if err := n.sys.cfg.PoS.ValidateClaim(m.blocks[i-1], m.blocks[i], scratch); err != nil {
-				return
-			}
-			if err := scratch.ApplyBlock(m.blocks[i]); err != nil {
-				return
-			}
-		}
-	}
-	replaced, err := n.ch.ReplaceIfLonger(m.blocks)
-	if err != nil || !replaced {
+	if !n.eng.AdoptChain(m.blocks) {
 		return
 	}
 	n.sys.stats.forkReplacements++
-	// Rebuild all chain-derived state.
-	if err := n.ledger.Rebuild(n.ch.Blocks()); err != nil {
-		panic("core: ledger rebuild after fork: " + err.Error())
-	}
-	n.view.Rebuild(n.ch.Blocks())
-	n.inChain = make(map[meta.DataID]bool)
-	n.liveItems = make(map[meta.DataID]*meta.Item)
-	for _, b := range n.ch.Blocks() {
-		for _, it := range b.Items {
-			n.inChain[it.ID] = true
-			n.liveItems[it.ID] = it // later blocks overwrite: latest version wins
-			delete(n.metaPool, it.ID)
-		}
-	}
 	n.reconcileStorage()
 	n.cancelSync()
 	n.scheduleMining()
@@ -451,7 +407,7 @@ func (n *Node) join() {
 // to this node (fork adoptions can rewrite assignments wholesale).
 func (n *Node) reconcileStorage() {
 	for id := range n.dataStore {
-		it := n.liveItems[id]
+		it := n.eng.LiveItem(id)
 		keep := false
 		if it != nil {
 			for _, sn := range it.StoringNodes {
@@ -466,4 +422,30 @@ func (n *Node) reconcileStorage() {
 			delete(n.pendingFetch, id)
 		}
 	}
+}
+
+// lessID orders data IDs by raw bytes (deterministic iteration).
+func lessID(a, b meta.DataID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
 }

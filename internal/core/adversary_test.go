@@ -52,9 +52,9 @@ func TestBlockWithPaddedMiningTimeRejected(t *testing.T) {
 	// inflate its target.
 	tip := victim.Chain().Tip()
 	params := sys.cfg.PoS
-	bval := params.AmendmentB(cheater.ledger.N(), cheater.ledger.UBar())
+	bval := params.AmendmentB(cheater.eng.Ledger().N(), cheater.eng.Ledger().UBar())
 	hit := params.Hit(tip, cheater.ident.Address())
-	wt := pos.TimeToMine(hit, cheater.ledger.U(1), bval)
+	wt := pos.TimeToMine(hit, cheater.eng.Ledger().U(1), bval)
 	padded := wt + 1000
 	blk := block.NewBuilder(tip, cheater.ident.Address(),
 		tip.Timestamp+time.Duration(padded)*time.Second, padded, bval).Seal()
@@ -80,7 +80,7 @@ func TestBlockWithWrongAmendmentRejected(t *testing.T) {
 	tip := victim.Chain().Tip()
 	params := sys.cfg.PoS
 	// An inflated B makes every hit win instantly.
-	badB := params.AmendmentB(cheater.ledger.N(), cheater.ledger.UBar()) * 1e6
+	badB := params.AmendmentB(cheater.eng.Ledger().N(), cheater.eng.Ledger().UBar()) * 1e6
 	blk := block.NewBuilder(tip, cheater.ident.Address(),
 		tip.Timestamp+time.Second, 1, badB).Seal()
 	sys.engine.ScheduleAt(blk.Timestamp+time.Second, func() {
@@ -101,9 +101,9 @@ func TestFutureTimestampRejected(t *testing.T) {
 
 	tip := victim.Chain().Tip()
 	params := sys.cfg.PoS
-	bval := params.AmendmentB(cheater.ledger.N(), cheater.ledger.UBar())
+	bval := params.AmendmentB(cheater.eng.Ledger().N(), cheater.eng.Ledger().UBar())
 	hit := params.Hit(tip, cheater.ident.Address())
-	wt := pos.TimeToMine(hit, cheater.ledger.U(1), bval)
+	wt := pos.TimeToMine(hit, cheater.eng.Ledger().U(1), bval)
 	// Honest claim, but stamped one hour into the receiver's future.
 	blk := block.NewBuilder(tip, cheater.ident.Address(),
 		sys.engine.Now()+time.Hour, wt, bval).Seal()
@@ -127,9 +127,9 @@ func TestTamperedMetadataInPoolDropped(t *testing.T) {
 	it.Sign(producer.ident)
 	it.Type = "T/forged" // break the signature
 
-	before := len(victim.metaPool)
+	before := victim.eng.PoolLen()
 	victim.handleMetadata(it)
-	if len(victim.metaPool) != before {
+	if victim.eng.PoolLen() != before {
 		t.Fatal("forged metadata entered the pool")
 	}
 }

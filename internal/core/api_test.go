@@ -175,8 +175,8 @@ func TestPlacementDriftBounds(t *testing.T) {
 	}
 	// View assignments are exposed for every live item.
 	n := sys.Node(0)
-	for id := range n.liveItems {
-		if got := n.view.Assignment(id); len(got) == 0 && !n.liveItems[id].Expired(sys.Engine().Now()) {
+	for id, it := range n.eng.LiveItems() {
+		if got := n.eng.View().Assignment(id); len(got) == 0 && !it.Expired(sys.Engine().Now()) {
 			t.Fatalf("live item %s has no view assignment", id.Short())
 		}
 	}

@@ -101,7 +101,7 @@ func TestRecentDepthCap(t *testing.T) {
 		if d := n.recent.Depth(); d > 2 {
 			t.Fatalf("node %d recent depth %d exceeds cap 2", i, d)
 		}
-		if d := n.view.RecentDepth(i); d > 2 {
+		if d := n.eng.View().RecentDepth(i); d > 2 {
 			t.Fatalf("node %d view depth %d exceeds cap 2", i, d)
 		}
 	}
@@ -250,9 +250,9 @@ func TestMigrationExecutes(t *testing.T) {
 	// Consistency: for every live item, all nodes agree on the latest
 	// assignment, and assigned nodes hold (or are fetching) the content.
 	ref := sys.Node(0)
-	for id, it := range ref.liveItems {
+	for id, it := range ref.eng.LiveItems() {
 		for i := 1; i < cfg.NumNodes; i++ {
-			other := sys.Node(i).liveItems[id]
+			other := sys.Node(i).eng.LiveItem(id)
 			if other == nil {
 				continue // late propagation
 			}
@@ -267,7 +267,7 @@ func TestMigrationExecutes(t *testing.T) {
 	for i := 0; i < cfg.NumNodes; i++ {
 		node := sys.Node(i)
 		for id := range node.dataStore {
-			it := node.liveItems[id]
+			it := node.eng.LiveItem(id)
 			if it == nil {
 				continue
 			}
@@ -318,7 +318,7 @@ func TestStakeRescaleInSystem(t *testing.T) {
 	if sys.Node(0).Chain().Height() < 5 {
 		t.Skip("too few blocks")
 	}
-	if sys.Node(0).ledger.Scale() <= 1 {
+	if sys.Node(0).eng.Ledger().Scale() <= 1 {
 		t.Fatal("automatic rescaling never fired")
 	}
 	tip := sys.Node(0).Chain().Tip()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/engine"
 	"repro/internal/meta"
 )
 
@@ -24,22 +25,22 @@ func (s *System) PlacementDrift(observer int) float64 {
 	n := s.nodes[observer]
 	now := s.engine.Now()
 	topo := s.net.HomeTopology()
-	states := n.view.NodeStates(now)
+	states := n.eng.View().NodeStates(now)
 	in := s.planner.BuildInstance(topo, states)
 	pl, err := s.planner.Place(topo, states)
 	if err != nil || len(pl.StoringNodes) == 0 {
 		return 1
 	}
-	optimal := setCost(in, pl.StoringNodes)
+	optimal := engine.SetCost(in, pl.StoringNodes)
 	if optimal <= 0 {
 		return 1
 	}
 	total, count := 0.0, 0
-	for _, it := range n.liveItems {
+	for _, it := range n.eng.LiveItems() {
 		if it.Expired(now) || len(it.StoringNodes) == 0 {
 			continue
 		}
-		total += setCost(in, it.StoringNodes) / optimal
+		total += engine.SetCost(in, it.StoringNodes) / optimal
 		count++
 	}
 	if count == 0 {
@@ -57,9 +58,9 @@ func (s *System) MigrationAdvice(observer int) []MigrationAdvice {
 	n := s.nodes[observer]
 	now := s.engine.Now()
 	topo := s.net.HomeTopology()
-	states := n.view.NodeStates(now)
+	states := n.eng.View().NodeStates(now)
 	var out []MigrationAdvice
-	for _, b := range n.ch.Blocks() {
+	for _, b := range n.eng.Chain().Blocks() {
 		for _, it := range b.Items {
 			if it.Expired(now) || len(it.StoringNodes) == 0 {
 				continue

@@ -9,27 +9,26 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/block"
 	"repro/internal/chain"
+	"repro/internal/engine"
 	"repro/internal/identity"
 	"repro/internal/meta"
 	"repro/internal/netsim"
-	"repro/internal/pos"
 	"repro/internal/raft"
 	"repro/internal/sim"
-	"repro/internal/ufl"
 )
 
 // Node is one edge device participating in the blockchain: it generates
-// data, stores assigned data and blocks, mines with the PoS mechanism and
-// serves peer requests.
+// data, stores assigned data and blocks, and serves peer requests. All
+// consensus and allocation rules live in the shared internal/engine; the
+// Node is the simulation adapter supplying I/O — the discrete-event clock,
+// the netsim message sink and the physical storage maps.
 type Node struct {
 	sys   *System
 	id    int
 	ident *identity.Identity
 	rng   *rand.Rand
 
-	ch     *chain.Chain
-	ledger *pos.Ledger
-	view   *StorageView
+	eng *engine.Engine
 
 	// Physical storage.
 	ownData      map[meta.DataID]bool // items this node produced
@@ -38,15 +37,6 @@ type Node struct {
 	blockStore   map[uint64]bool      // assigned block bodies
 	recent       *alloc.RecentCache
 	pendingFetch map[meta.DataID]int // assigned items awaiting fetch: retries used
-
-	// Metadata pool.
-	metaPool map[meta.DataID]*meta.Item
-	inChain  map[meta.DataID]bool
-	// liveItems is the latest on-chain version of every item (migration
-	// re-announcements replace older versions).
-	liveItems map[meta.DataID]*meta.Item
-	// migrateCursor round-robins migration checks across live items.
-	migrateCursor int
 
 	// Mining.
 	mineTimer *sim.Timer
@@ -96,30 +86,54 @@ func newNode(sys *System, id int, ident *identity.Identity, rng *rand.Rand) *Nod
 	if depth < 1 {
 		depth = 1
 	}
-	ledger := pos.NewLedger(sys.accounts)
-	ledger.RescaleEvery = sys.cfg.StakeRescaleEvery
 	n := &Node{
 		sys:          sys,
 		id:           id,
 		ident:        ident,
 		rng:          rng,
-		ledger:       ledger,
-		view:         NewStorageView(sys.cfg.NumNodes, sys.cfg.StorageCapacity, sys.cfg.MobilityRange, depth, sys.cfg.RecentDepthCap),
 		ownData:      make(map[meta.DataID]bool),
 		dataStore:    make(map[meta.DataID]bool),
 		consumed:     make(map[meta.DataID]bool),
 		blockStore:   make(map[uint64]bool),
 		recent:       alloc.NewRecentCache(depth),
 		pendingFetch: make(map[meta.DataID]int),
-		metaPool:     make(map[meta.DataID]*meta.Item),
-		inChain:      make(map[meta.DataID]bool),
-		liveItems:    make(map[meta.DataID]*meta.Item),
 		pending:      make(map[uint64]*pendingRequest),
 		joined:       true,
 	}
-	n.ch = chain.New(sys.genesis)
-	n.ch.PreAppend = n.preAppend
-	n.ch.PostAppend = n.postAppend
+	ecfg := engine.Config{
+		Accounts:           sys.accounts,
+		Self:               id,
+		PoS:                sys.cfg.PoS,
+		Genesis:            sys.genesis,
+		Now:                sys.engine.Now,
+		ValidateClaims:     sys.cfg.Consensus != ConsensusPoW,
+		StakeRescaleEvery:  sys.cfg.StakeRescaleEvery,
+		CheckpointInterval: sys.cfg.CheckpointInterval,
+		Topology:           sys.net.HomeTopology,
+		Planner:            sys.planner,
+		BlockPlanner:       sys.blockPlanner,
+		StorageCapacity:    sys.cfg.StorageCapacity,
+		MobilityRange:      sys.cfg.MobilityRange,
+		InitialRecentDepth: depth,
+		RecentDepthCap:     sys.cfg.RecentDepthCap,
+		RandomPlacement:    sys.cfg.Placement == PlaceRandom,
+		Rand:               rng,
+		MigrateMaxPerBlock: sys.cfg.MigrateMaxPerBlock,
+		MigrateCostRatio:   sys.cfg.MigrateCostRatio,
+		OnAppend:           n.onAppend,
+	}
+	if sys.cfg.Consensus == ConsensusPoW {
+		// The PoW baseline keeps the engine's append/adopt machinery but
+		// swaps the round computation for exponential solve times.
+		ecfg.CustomRound = n.powRound
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		// Config is validated before nodes are built; an engine rejection
+		// here is a programming error.
+		panic("core: engine init: " + err.Error())
+	}
+	n.eng = eng
 	return n
 }
 
@@ -130,7 +144,10 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) Address() identity.Address { return n.ident.Address() }
 
 // Chain returns the node's chain replica.
-func (n *Node) Chain() *chain.Chain { return n.ch }
+func (n *Node) Chain() *chain.Chain { return n.eng.Chain() }
+
+// Engine returns the node's consensus engine.
+func (n *Node) Engine() *engine.Engine { return n.eng }
 
 // StoredItems returns how many storage units the node really uses:
 // assigned data items, assigned block bodies and the recent cache.
@@ -174,13 +191,7 @@ func (n *Node) Recv(from netsim.NodeID, msg netsim.Message) {
 // --- metadata -----------------------------------------------------------
 
 func (n *Node) handleMetadata(it *meta.Item) {
-	if n.inChain[it.ID] || n.metaPool[it.ID] != nil {
-		return
-	}
-	if err := it.Verify(); err != nil {
-		return // forged metadata: drop
-	}
-	n.metaPool[it.ID] = it
+	n.eng.AddMetadata(it)
 }
 
 // produce creates a data item on this node, stores it locally, and
@@ -199,37 +210,19 @@ func (n *Node) produce(seq int, typ string) *meta.Item {
 	}
 	it.Sign(n.ident)
 	n.ownData[it.ID] = true
-	n.metaPool[it.ID] = it
+	n.eng.AddLocal(it)
 	n.sys.net.Broadcast(netsim.NodeID(n.id), msgMetadata{item: it})
 	return it
 }
 
 // --- block adoption ------------------------------------------------------
 
-// preAppend is the chain hook that validates PoS claims against the ledger
-// state as of the parent block.
-func (n *Node) preAppend(prev, b *block.Block) error {
-	// Reject timestamps from the future (a miner cannot backdate thanks to
-	// pos.ErrBadElapsed, nor post-date past the receiver's clock).
-	if b.Timestamp > n.sys.engine.Now()+2*time.Second {
-		return fmt.Errorf("core: block %d timestamp in the future", b.Index)
-	}
-	if n.sys.cfg.Consensus == ConsensusPoW {
-		// The PoW baseline models the hash work energetically; validators
-		// would check the nonce, which carries no allocation state, so the
-		// in-simulation check is the timestamp sanity above.
-		return nil
-	}
-	return n.sys.cfg.PoS.ValidateClaim(prev, b, n.ledger)
-}
-
-// postAppend is the chain hook applying an adopted block's side effects.
-func (n *Node) postAppend(b *block.Block) {
-	if err := n.ledger.ApplyBlock(b); err != nil {
-		// Cannot happen: PreAppend guarantees in-order application.
-		panic(fmt.Sprintf("core: ledger apply: %v", err))
-	}
-	n.view.ApplyBlock(b)
+// onAppend is the engine callback layering the adapter's side effects on
+// every adopted block: energy accounting, the physical recent FIFO and
+// block-body store, proactive fetches, consumption scheduling and
+// valid-time expiry.
+func (n *Node) onAppend(ev engine.AppendEvent) {
+	b := ev.Block
 	n.chargeMiningEnergy(b)
 
 	// Every node pushes the block into its recent FIFO (it has the body
@@ -251,23 +244,12 @@ func (n *Node) postAppend(b *block.Block) {
 		}
 	}
 
-	for _, it := range b.Items {
-		delete(n.metaPool, it.ID)
-		first := !n.inChain[it.ID]
-		n.inChain[it.ID] = true
-		oldVersion := n.liveItems[it.ID]
-		n.liveItems[it.ID] = it
-
-		assignedToMe := false
-		for _, sn := range it.StoringNodes {
-			if sn == n.id {
-				assignedToMe = true
-			}
-		}
+	for _, ie := range ev.Items {
+		it := ie.Item
 
 		// Migration re-announcement (Section VII): released nodes free the
 		// storage immediately.
-		if !first && oldVersion != nil && !assignedToMe && !n.ownData[it.ID] {
+		if !ie.First && ie.Prev != nil && !ie.AssignedToSelf && !n.ownData[it.ID] {
 			delete(n.dataStore, it.ID)
 			delete(n.pendingFetch, it.ID)
 		}
@@ -276,18 +258,18 @@ func (n *Node) postAppend(b *block.Block) {
 		// node is chosen to be a storing node, it gets the data from the
 		// producer and stores them"). Migrated items prefer the previous
 		// holders as transfer sources.
-		if assignedToMe && !n.ownData[it.ID] && !n.dataStore[it.ID] {
+		if ie.AssignedToSelf && !n.ownData[it.ID] && !n.dataStore[it.ID] {
 			if _, active := n.pendingFetch[it.ID]; !active {
 				n.pendingFetch[it.ID] = 0
 				var preferred []int
-				if oldVersion != nil {
-					preferred = oldVersion.StoringNodes
+				if ie.Prev != nil {
+					preferred = ie.Prev.StoringNodes
 				}
 				n.startFetchFrom(it, preferred)
 			}
 		}
 
-		if !first {
+		if !ie.First {
 			continue
 		}
 
@@ -305,7 +287,7 @@ func (n *Node) postAppend(b *block.Block) {
 			n.sys.engine.ScheduleAt(it.ExpiresAt(), func() {
 				delete(n.dataStore, id)
 				delete(n.pendingFetch, id)
-				delete(n.liveItems, id)
+				n.eng.ForgetItem(id)
 			})
 		}
 	}
@@ -313,7 +295,7 @@ func (n *Node) postAppend(b *block.Block) {
 
 // handleBlock processes a block received from the network.
 func (n *Node) handleBlock(from int, b *block.Block) {
-	appended, err := n.ch.Add(b)
+	appended, err := n.eng.ReceiveBlock(b)
 	switch {
 	case err == nil:
 		if appended > 0 {
@@ -323,7 +305,7 @@ func (n *Node) handleBlock(from int, b *block.Block) {
 		}
 	case isGap(err):
 		// Missing blocks (Section III-C): ask for [tip+1, b.Index-1].
-		if fromIdx, to, ok := n.ch.MissingRange(); ok {
+		if fromIdx, to, ok := n.eng.Chain().MissingRange(); ok {
 			n.startBlockRecovery(fromIdx, to, from)
 		}
 	case isForkLink(err):
@@ -350,7 +332,7 @@ func (n *Node) chargeMiningEnergy(b *block.Block) {
 	if !n.joined || b.Index == 0 {
 		return
 	}
-	prev := n.ch.At(b.Index - 1)
+	prev := n.eng.Chain().At(b.Index - 1)
 	if prev == nil {
 		return
 	}
@@ -378,164 +360,49 @@ func (n *Node) scheduleMining() {
 	if !n.joined {
 		return
 	}
-	prev := n.ch.Tip()
-	t, bval := n.roundTime(prev)
-	if t == pos.NeverMines {
+	r, ok := n.eng.NextRound()
+	if !ok {
 		return
 	}
-	fireAt := prev.Timestamp + time.Duration(t)*time.Second
-	delay := fireAt - n.sys.engine.Now()
-	prevHash := prev.Hash
-	n.mineTimer = n.sys.engine.Schedule(delay, func() {
-		n.mine(prevHash, t, bval)
-	})
+	delay := r.FireAt() - n.sys.engine.Now()
+	n.mineTimer = n.sys.engine.Schedule(delay, func() { n.mine(r) })
 }
 
-// roundTime computes this node's winning time for the round on top of
-// prev, plus the amendment value to record in the block (PoS only).
-func (n *Node) roundTime(prev *block.Block) (uint64, float64) {
+// powRound is the PoW baseline's round computation: solve times are
+// exponential; derive a deterministic sample from the same hit so the run
+// stays reproducible. Each node's mean is n*t0, making the expected round
+// (min over nodes) t0.
+func (n *Node) powRound(prev *block.Block) (uint64, float64) {
 	params := n.sys.cfg.PoS
 	hit := params.Hit(prev, n.ident.Address())
-	if n.sys.cfg.Consensus == ConsensusPoW {
-		// PoW solve times are exponential; derive a deterministic sample
-		// from the same hit so the run stays reproducible. Each node's
-		// mean is n*t0, making the expected round (min over nodes) t0.
-		u := (float64(hit) + 0.5) / float64(params.M)
-		mean := params.T0.Seconds() * float64(n.sys.cfg.NumNodes)
-		t := -mean * logOf(1-u)
-		if t < 1 {
-			t = 1
-		}
-		return uint64(t), 0
+	u := (float64(hit) + 0.5) / float64(params.M)
+	mean := params.T0.Seconds() * float64(n.sys.cfg.NumNodes)
+	t := -mean * logOf(1-u)
+	if t < 1 {
+		t = 1
 	}
-	bval := params.AmendmentB(n.ledger.N(), n.ledger.UBar())
-	return pos.TimeToMine(hit, n.ledger.U(n.id), bval), bval
+	return uint64(t), 0
 }
 
-// mine assembles, adopts and broadcasts the next block (Section V-C).
-func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
-	prev := n.ch.Tip()
-	if prev.Hash != prevHash || !n.joined {
-		return // the round moved on
+// mine runs the engine's block assembly for a won round and broadcasts
+// the result (Section V-C).
+func (n *Node) mine(r engine.Round) {
+	if !n.joined {
+		return
 	}
-	now := n.sys.engine.Now()
-	bld := block.NewBuilder(prev, n.ident.Address(), now, minedAfter, bval)
-
-	// Scratch storage view: assignments within this block must see each
-	// other so one block doesn't dump everything on the same nodes.
-	states := n.view.NodeStates(now)
-	// Placement plans on home positions: the RDC (eq. 2) covers short-term
-	// movement through the mobility-range terms, so the plan stays valid
-	// while the live topology wobbles.
-	topo := n.sys.net.HomeTopology()
-
-	for _, it := range n.poolItems(now) {
-		storing := n.placeItem(topo, states, it)
-		if len(storing) == 0 {
-			continue
-		}
-		packed := it.Clone()
-		packed.StoringNodes = storing
-		bld.AddItem(packed)
-		for _, sn := range storing {
-			states[sn].Used++
-		}
-	}
-
-	// Block-body placement (no replica floor: recent FIFOs already cover
-	// fresh blocks everywhere).
-	blockNodes := n.placeBlock(topo, states)
-	for _, sn := range blockNodes {
-		states[sn].Used++
-	}
-	bld.SetStoringNodes(blockNodes)
-	bld.SetPrevStoringNodes(prev.StoringNodes)
-
-	// Recent-block allocation (Section IV-C): solve the same problem to
-	// pick the nodes that grow their recent FIFO by one.
-	recentNodes := n.placeBlock(topo, states)
-	for _, sn := range recentNodes {
-		states[sn].Used++
-	}
-	bld.SetRecentAssignees(recentNodes)
-
-	// Data migration (Section VII future work): re-place up to the
-	// configured number of drifted items.
-	for _, migrated := range n.pickMigrations(topo, states, now) {
-		bld.AddItem(migrated)
-		for _, sn := range migrated.StoringNodes {
-			states[sn].Used++
-		}
-		n.sys.stats.migrations++
-	}
-
-	blk := bld.Seal()
-	if _, err := n.ch.Add(blk); err != nil {
+	res, err := n.eng.Mine(r)
+	if err != nil {
 		// Our own block must be valid; a failure here is a programming
 		// error worth surfacing loudly in simulation.
 		panic(fmt.Sprintf("core: node %d rejects own block: %v", n.id, err))
 	}
+	if res == nil {
+		return // the round moved on
+	}
 	n.sys.stats.blocksMined++
-	n.sys.net.Broadcast(netsim.NodeID(n.id), msgBlock{blk: blk})
+	n.sys.stats.migrations += res.Migrations
+	n.sys.net.Broadcast(netsim.NodeID(n.id), msgBlock{blk: res.Block})
 	n.scheduleMining()
-}
-
-// poolItems returns the unexpired pool items in deterministic order.
-func (n *Node) poolItems(now time.Duration) []*meta.Item {
-	items := make([]*meta.Item, 0, len(n.metaPool))
-	for id, it := range n.metaPool {
-		if it.Expired(now) || n.inChain[id] {
-			delete(n.metaPool, id)
-			continue
-		}
-		items = append(items, it)
-	}
-	// Deterministic order: by ID bytes.
-	for i := 1; i < len(items); i++ {
-		for j := i; j > 0 && lessID(items[j].ID, items[j-1].ID); j-- {
-			items[j], items[j-1] = items[j-1], items[j]
-		}
-	}
-	return items
-}
-
-func lessID(a, b meta.DataID) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
-
-// placeItem chooses storing nodes for one data item under the configured
-// strategy.
-func (n *Node) placeItem(topo *netsim.Topology, states []alloc.NodeState, it *meta.Item) []int {
-	optimal := n.place(topo, states)
-	if n.sys.cfg.Placement == PlaceRandom {
-		// Baseline: same replica count, uniformly random nodes
-		// (Section VI-B's "fair comparison").
-		return alloc.RandomPlace(states, len(optimal), n.rng)
-	}
-	return optimal
-}
-
-// place runs the data-item planner over the scratch state.
-func (n *Node) place(topo *netsim.Topology, states []alloc.NodeState) []int {
-	pl, err := n.sys.planner.Place(topo, states)
-	if err != nil {
-		return nil
-	}
-	return pl.StoringNodes
-}
-
-// placeBlock runs the block planner (no replica floor).
-func (n *Node) placeBlock(topo *netsim.Topology, states []alloc.NodeState) []int {
-	pl, err := n.sys.blockPlanner.Place(topo, states)
-	if err != nil {
-		return nil
-	}
-	return pl.StoringNodes
 }
 
 // --- raft ----------------------------------------------------------------
@@ -550,94 +417,3 @@ func (n *Node) Raft() *raft.Node { return n.raft }
 
 // logOf wraps math.Log for the deterministic PoW solve-time sample.
 func logOf(x float64) float64 { return math.Log(x) }
-
-// pickMigrations selects up to MigrateMaxPerBlock live items whose
-// current storing set costs more than MigrateCostRatio times the freshly
-// computed optimal, and returns re-announced clones carrying the new
-// assignment. The cursor round-robins across items so every item is
-// eventually reconsidered.
-func (n *Node) pickMigrations(topo *netsim.Topology, states []alloc.NodeState, now time.Duration) []*meta.Item {
-	maxPer := n.sys.cfg.MigrateMaxPerBlock
-	if maxPer <= 0 || len(n.liveItems) == 0 {
-		return nil
-	}
-	ratio := n.sys.cfg.MigrateCostRatio
-	if ratio <= 1 {
-		ratio = 1.5
-	}
-	ids := make([]meta.DataID, 0, len(n.liveItems))
-	for id := range n.liveItems {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && lessID(ids[j], ids[j-1]); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	var out []*meta.Item
-	budget := 4 * maxPer // cost-evaluation budget per block
-	for k := 0; k < len(ids) && budget > 0 && len(out) < maxPer; k++ {
-		idx := (n.migrateCursor + k) % len(ids)
-		it := n.liveItems[ids[idx]]
-		if it.Expired(now) || len(it.StoringNodes) == 0 {
-			continue
-		}
-		budget--
-		in := n.sys.planner.BuildInstance(topo, states)
-		pl, err := n.sys.planner.Place(topo, states)
-		if err != nil || len(pl.StoringNodes) == 0 {
-			continue
-		}
-		cur := setCost(in, it.StoringNodes)
-		des := setCost(in, pl.StoringNodes)
-		if sameSet(it.StoringNodes, pl.StoringNodes) || cur <= ratio*des {
-			continue
-		}
-		migrated := it.Clone()
-		migrated.StoringNodes = pl.StoringNodes
-		out = append(out, migrated)
-	}
-	n.migrateCursor += 4 * maxPer
-	return out
-}
-
-// setCost evaluates the UFL objective of serving every client from the
-// given open set under the instance's costs.
-func setCost(in *ufl.Instance, open []int) float64 {
-	total := 0.0
-	for _, i := range open {
-		if i >= 0 && i < in.NFacilities() {
-			total += in.OpenCost[i]
-		}
-	}
-	for j := 0; j < in.NClients(); j++ {
-		best := math.Inf(1)
-		for _, i := range open {
-			if i >= 0 && i < in.NFacilities() {
-				if c := in.ConnCost[i][j]; c < best {
-					best = c
-				}
-			}
-		}
-		if !math.IsInf(best, 1) {
-			total += best
-		}
-	}
-	return total
-}
-
-func sameSet(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	seen := make(map[int]bool, len(a))
-	for _, v := range a {
-		seen[v] = true
-	}
-	for _, v := range b {
-		if !seen[v] {
-			return false
-		}
-	}
-	return true
-}

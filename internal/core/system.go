@@ -338,6 +338,20 @@ func (s *System) ProduceData(producer int, typ string) *meta.Item {
 	return it
 }
 
+// Identities returns the deployment's node identities (index = node ID).
+// Differential tests reuse them to run a live cluster on the same roster.
+func (s *System) Identities() []*identity.Identity { return s.idents }
+
+// InjectItem feeds a pre-built, signed metadata item into producer's pool
+// as if that node had produced it, and broadcasts the metadata. Must be
+// called from inside the simulation (via Engine scheduling) or before Run.
+func (s *System) InjectItem(producer int, it *meta.Item) {
+	n := s.nodes[producer]
+	n.ownData[it.ID] = true
+	n.eng.AddLocal(it)
+	s.net.Broadcast(netsim.NodeID(producer), msgMetadata{item: it})
+}
+
 // DeliverySamples returns the number of recorded data deliveries so far.
 func (s *System) DeliveryCount() int { return s.delivery.Count() }
 
@@ -400,7 +414,7 @@ func (s *System) Results() *Results {
 	st := s.net.Stats()
 	height := uint64(0)
 	for _, n := range s.nodes {
-		if h := n.ch.Height(); h > height {
+		if h := n.eng.Height(); h > height {
 			height = h
 		}
 	}

@@ -1,0 +1,610 @@
+// Package engine is the single implementation of the edge blockchain's
+// consensus and allocation rules: block validation (PoS-claim preAppend
+// checks), block adoption and longest-valid-chain fork choice, S_i/Q_i
+// ledger accounting, metadata-pool packing, the eq. 14 round-time
+// computation (via internal/pos) and the UFL placement decisions that go
+// into every mined block.
+//
+// The engine is transport- and clock-agnostic: it never does I/O and it
+// never sleeps. Adapters — internal/core.Node over the discrete-event
+// simulator and internal/livenode.Node over real sockets — inject a time
+// source (Config.Now), a topology, and an OnAppend callback, and they
+// decide when to call NextRound/Mine and what to do with the blocks the
+// engine hands back. Because both stacks drive the same engine, every
+// invariant proven against one (chaos replay validity, ledger
+// reconciliation, golden round times) certifies the other.
+//
+// The engine itself is NOT internally locked: the simulation runs
+// single-threaded, and the live node wraps every engine call in its own
+// mutex. Callbacks (OnAppend, Topology, Now) are invoked synchronously
+// from whatever engine method triggered them.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/identity"
+	"repro/internal/meta"
+	"repro/internal/netsim"
+	"repro/internal/pos"
+	"repro/internal/ufl"
+)
+
+// ItemEvent describes one data item carried by an adopted block, with the
+// context an adapter needs to act on it (fetch, release, schedule expiry).
+type ItemEvent struct {
+	// Item is the packed item, StoringNodes assigned.
+	Item *meta.Item
+	// Prev is the previously live on-chain version (non-nil for
+	// migration re-announcements), as of before this block.
+	Prev *meta.Item
+	// First reports whether this ID appears on-chain for the first time.
+	First bool
+	// AssignedToSelf reports whether Config.Self is a storing node of Item.
+	AssignedToSelf bool
+}
+
+// AppendEvent is passed to Config.OnAppend after the engine has applied a
+// block's ledger, storage-view and pool side effects.
+type AppendEvent struct {
+	Block *block.Block
+	Items []ItemEvent
+}
+
+// Round is one armed mining round: the tip it extends, the winning time T
+// in whole seconds and the eq. 14 amendment B to record in the block.
+type Round struct {
+	PrevHash      block.Hash
+	PrevTimestamp time.Duration
+	T             uint64
+	B             float64
+}
+
+// FireAt returns the virtual time at which the round is won.
+func (r Round) FireAt() time.Duration {
+	return r.PrevTimestamp + time.Duration(r.T)*time.Second
+}
+
+// MineResult is a successfully sealed and self-adopted block.
+type MineResult struct {
+	Block *block.Block
+	// Migrations counts the data-migration re-announcements packed into
+	// the block (Section VII).
+	Migrations int
+}
+
+// Config wires an Engine to its host node.
+type Config struct {
+	// Accounts is the fixed roster; index k is node ID k.
+	Accounts []identity.Address
+	// Self is this node's roster index.
+	Self int
+	// PoS holds the mining parameters.
+	PoS pos.Params
+	// Genesis is the shared genesis block.
+	Genesis *block.Block
+	// Now returns the current time as an offset from the shared epoch.
+	Now func() time.Duration
+
+	// ValidateClaims enables PoS-claim validation in preAppend and scratch
+	// replay in AdoptChain. The PoW baseline disables it (nonce checks
+	// carry no allocation state; only timestamp sanity remains).
+	ValidateClaims bool
+	// FutureSkew is the clock-skew tolerance for incoming block
+	// timestamps (default 2 s).
+	FutureSkew time.Duration
+	// StakeRescaleEvery periodically rescales the ledger (0 = never); it
+	// applies to the live ledger and to AdoptChain's scratch replay.
+	StakeRescaleEvery uint64
+	// CheckpointInterval enables Section V-D checkpoint finality: a fork
+	// candidate rewriting history at or below the newest multiple of this
+	// interval is refused even if longer (0 = disabled).
+	CheckpointInterval int
+
+	// Topology returns the placement topology (home positions for the
+	// sim, a 1-hop clique for the live mesh).
+	Topology func() *netsim.Topology
+	// Planner places data items (replica floor enforced); BlockPlanner
+	// places block bodies and recent-block assignments without one.
+	Planner      *alloc.Planner
+	BlockPlanner *alloc.Planner
+	// StorageCapacity is the per-node storage in items.
+	StorageCapacity int
+	// MobilityRange feeds the RDC mobility terms of the storage view.
+	MobilityRange float64
+	// InitialRecentDepth is every node's starting recent-cache allowance
+	// (floored to 1); RecentDepthCap bounds its growth (0 = unlimited).
+	InitialRecentDepth int
+	RecentDepthCap     int
+	// RandomPlacement switches item placement to the random baseline with
+	// the optimal replica count (Section VI-B); Rand must then be set.
+	RandomPlacement bool
+	Rand            *rand.Rand
+
+	// MigrateMaxPerBlock bounds data-migration re-announcements per mined
+	// block (0 = migration off); MigrateCostRatio is the drift threshold
+	// (values <= 1 mean the 1.5 default).
+	MigrateMaxPerBlock int
+	MigrateCostRatio   float64
+
+	// CustomRound overrides the PoS round computation (the PoW baseline
+	// derives exponential solve times from the same hit).
+	CustomRound func(prev *block.Block) (t uint64, b float64)
+	// OnAppend, if set, is called synchronously after each appended
+	// block's state transitions (ledger, view, pool, live-item index).
+	OnAppend func(ev AppendEvent)
+}
+
+// Engine owns all chain-derived consensus state of one node.
+type Engine struct {
+	cfg    Config
+	ch     *chain.Chain
+	ledger *pos.Ledger
+	view   *StorageView
+
+	pool      map[meta.DataID]*meta.Item
+	inChain   map[meta.DataID]bool
+	liveItems map[meta.DataID]*meta.Item
+	// migrateCursor round-robins migration checks across live items.
+	migrateCursor int
+}
+
+// New builds an engine. The genesis block is adopted immediately.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Accounts) == 0 {
+		return nil, errors.New("engine: empty account roster")
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Accounts) {
+		return nil, fmt.Errorf("engine: self index %d outside roster of %d", cfg.Self, len(cfg.Accounts))
+	}
+	if err := cfg.PoS.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Genesis == nil {
+		return nil, errors.New("engine: missing genesis block")
+	}
+	if cfg.Now == nil {
+		return nil, errors.New("engine: missing time source")
+	}
+	if cfg.Topology == nil {
+		return nil, errors.New("engine: missing topology source")
+	}
+	if cfg.Planner == nil || cfg.BlockPlanner == nil {
+		return nil, errors.New("engine: missing planners")
+	}
+	if cfg.RandomPlacement && cfg.Rand == nil {
+		return nil, errors.New("engine: random placement needs a Rand source")
+	}
+	if cfg.FutureSkew == 0 {
+		cfg.FutureSkew = 2 * time.Second
+	}
+	if cfg.InitialRecentDepth < 1 {
+		cfg.InitialRecentDepth = 1
+	}
+	ledger := pos.NewLedger(cfg.Accounts)
+	ledger.RescaleEvery = cfg.StakeRescaleEvery
+	e := &Engine{
+		cfg:       cfg,
+		ledger:    ledger,
+		view:      NewStorageView(len(cfg.Accounts), cfg.StorageCapacity, cfg.MobilityRange, cfg.InitialRecentDepth, cfg.RecentDepthCap),
+		pool:      make(map[meta.DataID]*meta.Item),
+		inChain:   make(map[meta.DataID]bool),
+		liveItems: make(map[meta.DataID]*meta.Item),
+	}
+	e.ch = chain.New(cfg.Genesis)
+	e.ch.PreAppend = e.preAppend
+	e.ch.PostAppend = e.postAppend
+	return e, nil
+}
+
+// --- accessors ------------------------------------------------------------
+
+// Chain returns the engine's chain replica.
+func (e *Engine) Chain() *chain.Chain { return e.ch }
+
+// Ledger returns the engine's stake ledger.
+func (e *Engine) Ledger() *pos.Ledger { return e.ledger }
+
+// View returns the chain-derived storage view.
+func (e *Engine) View() *StorageView { return e.view }
+
+// Tip returns the current tip block.
+func (e *Engine) Tip() *block.Block { return e.ch.Tip() }
+
+// Height returns the chain height.
+func (e *Engine) Height() uint64 { return e.ch.Height() }
+
+// OnChain reports whether an item with the given ID is recorded on-chain.
+func (e *Engine) OnChain(id meta.DataID) bool { return e.inChain[id] }
+
+// LiveItem returns the latest on-chain version of the item (nil if none).
+func (e *Engine) LiveItem(id meta.DataID) *meta.Item { return e.liveItems[id] }
+
+// LiveItems returns the latest on-chain version of every item. The map is
+// the engine's own index: callers must not modify it.
+func (e *Engine) LiveItems() map[meta.DataID]*meta.Item { return e.liveItems }
+
+// ForgetItem drops an item from the live index (adapters call it when the
+// item's valid time expires).
+func (e *Engine) ForgetItem(id meta.DataID) { delete(e.liveItems, id) }
+
+// PoolLen returns the metadata-pool size.
+func (e *Engine) PoolLen() int { return len(e.pool) }
+
+// --- metadata pool --------------------------------------------------------
+
+// AddMetadata verifies and pools a metadata item received from the
+// network; duplicates and items already on-chain are dropped. It reports
+// whether the item entered the pool.
+func (e *Engine) AddMetadata(it *meta.Item) bool {
+	if e.inChain[it.ID] || e.pool[it.ID] != nil {
+		return false
+	}
+	if err := it.Verify(); err != nil {
+		return false // forged metadata: drop
+	}
+	e.pool[it.ID] = it
+	return true
+}
+
+// AddLocal pools an item this node produced itself (already trusted).
+func (e *Engine) AddLocal(it *meta.Item) { e.pool[it.ID] = it }
+
+// poolItems returns the unexpired, not-yet-on-chain pool items in
+// deterministic order (by ID bytes), pruning the rest.
+func (e *Engine) poolItems(now time.Duration) []*meta.Item {
+	items := make([]*meta.Item, 0, len(e.pool))
+	for id, it := range e.pool {
+		if it.Expired(now) || e.inChain[id] {
+			delete(e.pool, id)
+			continue
+		}
+		items = append(items, it)
+	}
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && lessID(items[j].ID, items[j-1].ID); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	return items
+}
+
+func lessID(a, b meta.DataID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// --- validation & adoption ------------------------------------------------
+
+// preAppend is the chain hook validating a block against the ledger state
+// as of its parent.
+func (e *Engine) preAppend(prev, b *block.Block) error {
+	// Reject timestamps from the future (a miner cannot backdate thanks to
+	// pos.ErrBadElapsed, nor post-date past the receiver's clock).
+	if b.Timestamp > e.cfg.Now()+e.cfg.FutureSkew {
+		return fmt.Errorf("engine: block %d timestamp in the future", b.Index)
+	}
+	if !e.cfg.ValidateClaims {
+		return nil
+	}
+	return e.cfg.PoS.ValidateClaim(prev, b, e.ledger)
+}
+
+// postAppend is the chain hook applying an adopted block's side effects:
+// ledger accounting, storage view, pool pruning and the live-item index.
+// The adapter's OnAppend callback then layers physical storage, fetches
+// and telemetry on top.
+func (e *Engine) postAppend(b *block.Block) {
+	if err := e.ledger.ApplyBlock(b); err != nil {
+		// Cannot happen: PreAppend guarantees in-order application.
+		panic(fmt.Sprintf("engine: ledger apply: %v", err))
+	}
+	e.view.ApplyBlock(b)
+	ev := AppendEvent{Block: b, Items: make([]ItemEvent, 0, len(b.Items))}
+	for _, it := range b.Items {
+		delete(e.pool, it.ID)
+		ie := ItemEvent{Item: it, Prev: e.liveItems[it.ID], First: !e.inChain[it.ID]}
+		for _, sn := range it.StoringNodes {
+			if sn == e.cfg.Self {
+				ie.AssignedToSelf = true
+			}
+		}
+		e.inChain[it.ID] = true
+		e.liveItems[it.ID] = it
+		ev.Items = append(ev.Items, ie)
+	}
+	if cb := e.cfg.OnAppend; cb != nil {
+		cb(ev)
+	}
+}
+
+// ReceiveBlock runs a network block through validation and adoption; the
+// returned count includes previously buffered blocks drained by this one.
+// Gap and fork-link errors are the adapter's cue to start block recovery
+// or a full chain exchange.
+func (e *Engine) ReceiveBlock(b *block.Block) (appended int, err error) {
+	return e.ch.Add(b)
+}
+
+// AppendTrusted appends an already-validated block (WAL replay), skipping
+// claim checks but running the normal state transitions.
+func (e *Engine) AppendTrusted(b *block.Block) error {
+	return e.ch.AppendTrusted(b)
+}
+
+// LastCheckpoint returns the height of the newest finalized block under
+// the checkpoint rule (0 when disabled or none reached yet).
+func (e *Engine) LastCheckpoint() uint64 {
+	k := uint64(e.cfg.CheckpointInterval)
+	if k == 0 {
+		return 0
+	}
+	return (e.ch.Height() / k) * k
+}
+
+// AdoptChain evaluates a full candidate chain (Naivechain-style fork
+// resolution): it must be strictly longer, respect checkpoint finality,
+// and replay cleanly — structural validation plus, when claims are
+// enabled, PoS-claim validation of every block against a scratch ledger.
+// On adoption all chain-derived state (ledger, view, pool, live-item
+// index) is rebuilt and true is returned; the caller handles physical
+// storage reconciliation, persistence and re-arming its miner.
+func (e *Engine) AdoptChain(blocks []*block.Block) bool {
+	if len(blocks) <= e.ch.Len() {
+		return false
+	}
+	// Checkpoint rule (Section V-D): a candidate that rewrites history at
+	// or below our newest checkpoint is refused even if longer.
+	if cp := e.LastCheckpoint(); cp > 0 {
+		if uint64(len(blocks)) <= cp || blocks[cp].Hash != e.ch.At(cp).Hash {
+			return false
+		}
+	}
+	if e.cfg.ValidateClaims {
+		scratch := pos.NewLedger(e.cfg.Accounts)
+		scratch.RescaleEvery = e.cfg.StakeRescaleEvery
+		for i := 1; i < len(blocks); i++ {
+			if err := e.cfg.PoS.ValidateClaim(blocks[i-1], blocks[i], scratch); err != nil {
+				return false
+			}
+			if err := scratch.ApplyBlock(blocks[i]); err != nil {
+				return false
+			}
+		}
+	}
+	replaced, err := e.ch.ReplaceIfLonger(blocks)
+	if err != nil || !replaced {
+		return false
+	}
+	// Rebuild all chain-derived state (ReplaceIfLonger runs no hooks).
+	if err := e.ledger.Rebuild(e.ch.Blocks()); err != nil {
+		panic("engine: ledger rebuild after fork: " + err.Error())
+	}
+	e.view.Rebuild(e.ch.Blocks())
+	e.inChain = make(map[meta.DataID]bool)
+	e.liveItems = make(map[meta.DataID]*meta.Item)
+	for _, b := range e.ch.Blocks() {
+		for _, it := range b.Items {
+			e.inChain[it.ID] = true
+			e.liveItems[it.ID] = it // later blocks overwrite: latest version wins
+			delete(e.pool, it.ID)
+		}
+	}
+	return true
+}
+
+// --- mining ---------------------------------------------------------------
+
+// NextRound computes this node's mining round on top of the current tip.
+// ok is false when the node cannot mine this round.
+func (e *Engine) NextRound() (r Round, ok bool) {
+	prev := e.ch.Tip()
+	var t uint64
+	var bval float64
+	if e.cfg.CustomRound != nil {
+		t, bval = e.cfg.CustomRound(prev)
+	} else {
+		t, bval = e.cfg.PoS.Round(prev, e.cfg.Accounts[e.cfg.Self], e.ledger)
+	}
+	if t == pos.NeverMines {
+		return Round{}, false
+	}
+	return Round{PrevHash: prev.Hash, PrevTimestamp: prev.Timestamp, T: t, B: bval}, true
+}
+
+// Mine assembles, self-adopts and returns the next block for a round won
+// at the current time: pool items are packed in deterministic order with
+// UFL placements, block-body and recent-block assignments are solved on
+// the same scratch state, and drifted items are re-announced (migration).
+// It returns (nil, nil) when the round moved on (the tip changed), and an
+// error only when the engine rejects its own block — a programming error
+// the adapter surfaces loudly.
+func (e *Engine) Mine(r Round) (*MineResult, error) {
+	prev := e.ch.Tip()
+	if prev.Hash != r.PrevHash {
+		return nil, nil // the round moved on
+	}
+	now := e.cfg.Now()
+	bld := block.NewBuilder(prev, e.cfg.Accounts[e.cfg.Self], now, r.T, r.B)
+
+	// Scratch storage view: assignments within this block must see each
+	// other so one block doesn't dump everything on the same nodes.
+	states := e.view.NodeStates(now)
+	// Placement plans on home positions: the RDC (eq. 2) covers short-term
+	// movement through the mobility-range terms, so the plan stays valid
+	// while the live topology wobbles.
+	topo := e.cfg.Topology()
+
+	for _, it := range e.poolItems(now) {
+		storing := e.placeItem(topo, states)
+		if len(storing) == 0 {
+			continue
+		}
+		packed := it.Clone()
+		packed.StoringNodes = storing
+		bld.AddItem(packed)
+		for _, sn := range storing {
+			states[sn].Used++
+		}
+	}
+
+	// Block-body placement (no replica floor: recent FIFOs already cover
+	// fresh blocks everywhere).
+	blockNodes := e.placeBlock(topo, states)
+	for _, sn := range blockNodes {
+		states[sn].Used++
+	}
+	bld.SetStoringNodes(blockNodes)
+	bld.SetPrevStoringNodes(prev.StoringNodes)
+
+	// Recent-block allocation (Section IV-C): solve the same problem to
+	// pick the nodes that grow their recent FIFO by one.
+	recentNodes := e.placeBlock(topo, states)
+	for _, sn := range recentNodes {
+		states[sn].Used++
+	}
+	bld.SetRecentAssignees(recentNodes)
+
+	// Data migration (Section VII future work): re-place up to the
+	// configured number of drifted items.
+	migrated := e.pickMigrations(topo, states, now)
+	for _, m := range migrated {
+		bld.AddItem(m)
+		for _, sn := range m.StoringNodes {
+			states[sn].Used++
+		}
+	}
+
+	blk := bld.Seal()
+	if _, err := e.ch.Add(blk); err != nil {
+		return nil, fmt.Errorf("engine: own block rejected: %w", err)
+	}
+	return &MineResult{Block: blk, Migrations: len(migrated)}, nil
+}
+
+// placeItem chooses storing nodes for one data item under the configured
+// strategy.
+func (e *Engine) placeItem(topo *netsim.Topology, states []alloc.NodeState) []int {
+	optimal := e.place(e.cfg.Planner, topo, states)
+	if e.cfg.RandomPlacement {
+		// Baseline: same replica count, uniformly random nodes
+		// (Section VI-B's "fair comparison").
+		return alloc.RandomPlace(states, len(optimal), e.cfg.Rand)
+	}
+	return optimal
+}
+
+// placeBlock runs the block planner (no replica floor).
+func (e *Engine) placeBlock(topo *netsim.Topology, states []alloc.NodeState) []int {
+	return e.place(e.cfg.BlockPlanner, topo, states)
+}
+
+func (e *Engine) place(p *alloc.Planner, topo *netsim.Topology, states []alloc.NodeState) []int {
+	pl, err := p.Place(topo, states)
+	if err != nil {
+		return nil
+	}
+	return pl.StoringNodes
+}
+
+// pickMigrations selects up to MigrateMaxPerBlock live items whose
+// current storing set costs more than MigrateCostRatio times the freshly
+// computed optimal, and returns re-announced clones carrying the new
+// assignment. The cursor round-robins across items so every item is
+// eventually reconsidered.
+func (e *Engine) pickMigrations(topo *netsim.Topology, states []alloc.NodeState, now time.Duration) []*meta.Item {
+	maxPer := e.cfg.MigrateMaxPerBlock
+	if maxPer <= 0 || len(e.liveItems) == 0 {
+		return nil
+	}
+	ratio := e.cfg.MigrateCostRatio
+	if ratio <= 1 {
+		ratio = 1.5
+	}
+	ids := make([]meta.DataID, 0, len(e.liveItems))
+	for id := range e.liveItems {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && lessID(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var out []*meta.Item
+	budget := 4 * maxPer // cost-evaluation budget per block
+	for k := 0; k < len(ids) && budget > 0 && len(out) < maxPer; k++ {
+		idx := (e.migrateCursor + k) % len(ids)
+		it := e.liveItems[ids[idx]]
+		if it.Expired(now) || len(it.StoringNodes) == 0 {
+			continue
+		}
+		budget--
+		in := e.cfg.Planner.BuildInstance(topo, states)
+		pl, err := e.cfg.Planner.Place(topo, states)
+		if err != nil || len(pl.StoringNodes) == 0 {
+			continue
+		}
+		cur := SetCost(in, it.StoringNodes)
+		des := SetCost(in, pl.StoringNodes)
+		if sameSet(it.StoringNodes, pl.StoringNodes) || cur <= ratio*des {
+			continue
+		}
+		migrated := it.Clone()
+		migrated.StoringNodes = pl.StoringNodes
+		out = append(out, migrated)
+	}
+	e.migrateCursor += 4 * maxPer
+	return out
+}
+
+// SetCost evaluates the UFL objective of serving every client from the
+// given open set under the instance's costs.
+func SetCost(in *ufl.Instance, open []int) float64 {
+	total := 0.0
+	for _, i := range open {
+		if i >= 0 && i < in.NFacilities() {
+			total += in.OpenCost[i]
+		}
+	}
+	for j := 0; j < in.NClients(); j++ {
+		best := math.Inf(1)
+		for _, i := range open {
+			if i >= 0 && i < in.NFacilities() {
+				if c := in.ConnCost[i][j]; c < best {
+					best = c
+				}
+			}
+		}
+		if !math.IsInf(best, 1) {
+			total += best
+		}
+	}
+	return total
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/pos"
+)
+
+// FuzzAdoptChain feeds AdoptChain mutated fork candidates — truncated,
+// reordered, duplicated-height and claim-forged chains — and asserts the
+// two safety properties: the engine never panics, and it never adopts a
+// chain that does not replay cleanly (structural validity plus PoS claim
+// validity). The victim's own chain must stay fully valid after every
+// attempt, adopted or refused.
+func FuzzAdoptChain(f *testing.F) {
+	f.Add([]byte{})           // unmutated candidate: must adopt
+	f.Add([]byte{0, 3})       // truncate
+	f.Add([]byte{1, 2, 2, 0}) // duplicate a height, swap adjacent
+	f.Add([]byte{3, 1, 3, 9}) // stale-hash field tampering
+	f.Add([]byte{4, 2, 4, 5}) // resealed forged claims
+	f.Add([]byte{5, 7, 5, 1}) // forged-claim extensions
+	f.Add([]byte{2, 0, 1, 6, 0, 255, 5, 42})
+
+	// One valid 6-block donor chain, shared (read-only) by all inputs.
+	donor := newTestCluster(f, 3, nil)
+	it := donor.item(0, "fuzz payload")
+	for _, e := range donor.engines {
+		e.AddMetadata(it)
+	}
+	for r := 0; r < 6; r++ {
+		donor.mineNext(f)
+	}
+	base := donor.engines[0].Chain().Blocks()
+	accounts := donor.accounts
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		victim := newTestCluster(t, 3, nil).engines[0]
+
+		blocks := append([]*block.Block(nil), base...)
+		mutated := false
+		for i := 0; i+1 < len(data) && len(blocks) > 0; i += 2 {
+			op, arg := int(data[i])%6, int(data[i+1])
+			switch op {
+			case 0: // truncate
+				k := 1 + arg%len(blocks)
+				if k < len(blocks) {
+					blocks, mutated = blocks[:k], true
+				}
+			case 1: // duplicate the block at one height
+				k := arg % len(blocks)
+				out := make([]*block.Block, 0, len(blocks)+1)
+				out = append(out, blocks[:k+1]...)
+				out = append(out, blocks[k])
+				out = append(out, blocks[k+1:]...)
+				blocks, mutated = out, true
+			case 2: // swap two adjacent blocks
+				if len(blocks) >= 2 {
+					k := arg % (len(blocks) - 1)
+					blocks[k], blocks[k+1] = blocks[k+1], blocks[k]
+					mutated = true
+				}
+			case 3: // tamper a field without resealing (stale hash)
+				k := arg % len(blocks)
+				cp := blocks[k].Clone()
+				switch arg % 4 {
+				case 0:
+					cp.MinedAfter++
+				case 1:
+					cp.B++
+				case 2:
+					cp.Timestamp += time.Second
+				case 3:
+					cp.PrevHash[0] ^= 0xff
+				}
+				blocks[k] = cp
+				mutated = true
+			case 4: // tamper and reseal: valid hash, forged PoS claim
+				k := arg % len(blocks)
+				cp := blocks[k].Clone()
+				cp.MinedAfter += uint64(arg%5) + 1
+				cp.Seal()
+				blocks[k] = cp
+				mutated = true
+			case 5: // extend with a fabricated block claiming a bogus round
+				prev := blocks[len(blocks)-1]
+				nb := block.NewBuilder(prev, accounts[arg%len(accounts)],
+					prev.Timestamp+time.Second, uint64(arg%100)+1, float64(arg)).Seal()
+				blocks = append(blocks, nb)
+				mutated = true
+			}
+		}
+
+		adopted := victim.AdoptChain(blocks)
+
+		if !mutated && !adopted {
+			t.Fatal("unmutated valid chain refused")
+		}
+		if adopted {
+			snap := victim.Chain().Blocks()
+			if len(snap) != len(blocks) {
+				t.Fatalf("adopted %d blocks of a %d-block candidate", len(snap), len(blocks))
+			}
+			for i := range snap {
+				if snap[i].Hash != blocks[i].Hash {
+					t.Fatalf("adopted chain differs from candidate at height %d", i)
+				}
+			}
+		}
+		// Whatever happened, the victim's chain must replay cleanly.
+		snap := victim.Chain().Blocks()
+		if err := chain.Validate(snap); err != nil {
+			t.Fatalf("victim chain structurally invalid: %v", err)
+		}
+		scratch := pos.NewLedger(accounts)
+		for i := 1; i < len(snap); i++ {
+			if err := victim.cfg.PoS.ValidateClaim(snap[i-1], snap[i], scratch); err != nil {
+				t.Fatalf("victim chain claim-invalid at height %d: %v", i, err)
+			}
+			if err := scratch.ApplyBlock(snap[i]); err != nil {
+				t.Fatalf("victim ledger replay at height %d: %v", i, err)
+			}
+		}
+		// And the live ledger must match that replay exactly.
+		for k := range accounts {
+			if victim.Ledger().S(k) != scratch.S(k) || victim.Ledger().Q(k) != scratch.Q(k) {
+				t.Fatalf("victim ledger drifts from chain at account %d", k)
+			}
+		}
+	})
+}

@@ -1,8 +1,10 @@
 // Package livenode runs the edge blockchain over real TCP sockets and the
 // wall clock, the way the paper's original deployment ran Node.js
-// processes in Docker containers. It reuses the exact same chain, PoS,
-// metadata and allocation code as the simulation; only the transport
-// (package p2p) and the clock differ.
+// processes in Docker containers. All consensus and allocation rules —
+// chain validation, fork choice, ledger accounting, pool packing and UFL
+// placement — live in the shared internal/engine package, the exact same
+// code the simulation executes; this package only supplies the I/O: a
+// transport (package p2p), a clock, a persistence store and telemetry.
 //
 // Simplifications relative to the simulated System (documented in
 // DESIGN.md): peers form a full TCP mesh, so the placement problem runs on
@@ -20,8 +22,8 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/block"
-	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/identity"
 	"repro/internal/meta"
@@ -66,7 +68,9 @@ type Config struct {
 	// then catches up anything mined while the node was down.
 	Store core.Store
 	// CheckpointEvery checkpoints the store manifest (and prunes expired
-	// data items) every this many adopted blocks (default 32).
+	// data items) every this many adopted blocks (default 32). This is a
+	// persistence cadence, distinct from the engine's consensus
+	// checkpoint-finality interval (which live nodes leave disabled).
 	CheckpointEvery int
 	// OnBlock, if set, is called after each adopted block (any goroutine).
 	OnBlock func(b *block.Block)
@@ -81,7 +85,8 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// Node is a live blockchain node.
+// Node is a live blockchain node: a thin transport/clock/persistence
+// adapter around the shared consensus engine.
 type Node struct {
 	cfg     Config
 	selfIdx int
@@ -89,12 +94,7 @@ type Node struct {
 	clock   Clock
 
 	mu         sync.Mutex
-	ch         *chain.Chain
-	ledger     *pos.Ledger
-	view       *StorageViewLite
-	planner    *alloc.Planner
-	topo       *netsim.Topology
-	pool       map[meta.DataID]*meta.Item
+	eng        *engine.Engine
 	store      core.Store
 	replaying  bool // WAL replay in progress: skip re-persisting/fetching
 	sinceCkpt  int  // blocks adopted since the last store checkpoint
@@ -148,52 +148,12 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 
 // updateChainGauges refreshes height and the S_i/Q_i gauges (n.mu held).
 func (n *Node) updateChainGauges() {
-	n.tel.height.Set(int64(n.ch.Height()))
+	n.tel.height.Set(int64(n.eng.Height()))
+	led := n.eng.Ledger()
 	for i := range n.tel.sGauges {
-		n.tel.sGauges[i].Set(int64(n.ledger.S(i)))
-		n.tel.qGauges[i].Set(int64(n.ledger.Q(i)))
+		n.tel.sGauges[i].Set(int64(led.S(i)))
+		n.tel.qGauges[i].Set(int64(led.Q(i)))
 	}
-}
-
-// StorageViewLite tracks chain-derived per-node storage usage for the
-// clique placement (a thin wrapper so livenode does not depend on the
-// simulation core).
-type StorageViewLite struct {
-	capacity int
-	used     []int
-}
-
-func newViewLite(n, capacity int) *StorageViewLite {
-	return &StorageViewLite{capacity: capacity, used: make([]int, n)}
-}
-
-func (v *StorageViewLite) apply(b *block.Block) {
-	credit := func(ns []int) {
-		for _, i := range ns {
-			if i >= 0 && i < len(v.used) {
-				v.used[i]++
-			}
-		}
-	}
-	for _, it := range b.Items {
-		credit(it.StoringNodes)
-	}
-	credit(b.StoringNodes)
-	credit(b.RecentAssignees)
-}
-
-func (v *StorageViewLite) reset() {
-	for i := range v.used {
-		v.used[i] = 0
-	}
-}
-
-func (v *StorageViewLite) states() []alloc.NodeState {
-	out := make([]alloc.NodeState, len(v.used))
-	for i, u := range v.used {
-		out[i] = alloc.NodeState{Used: u, Capacity: v.capacity}
-	}
-	return out
 }
 
 // New starts a node listening on cfg.ListenAddr.
@@ -234,22 +194,35 @@ func New(cfg Config) (*Node, error) {
 		cfg:        cfg,
 		selfIdx:    selfIdx,
 		clock:      cfg.Clock,
-		ledger:     pos.NewLedger(cfg.Accounts),
-		view:       newViewLite(len(cfg.Accounts), cfg.StorageCapacity),
-		planner:    alloc.NewPlanner(1),
-		pool:       make(map[meta.DataID]*meta.Item),
 		store:      cfg.Store,
 		onData:     cfg.OnData,
 		fetchStart: make(map[meta.DataID]time.Time),
 		tel:        newNodeMetrics(cfg.Telemetry, len(cfg.Accounts)),
 	}
+
 	// Clique topology: every pair 1 hop (full TCP mesh).
 	positions := make([]geo.Point, len(cfg.Accounts))
-	n.topo = netsim.NewTopology(positions, 1, nil)
-
-	n.ch = chain.New(block.Genesis(cfg.GenesisSeed))
-	n.ch.PreAppend = n.preAppend
-	n.ch.PostAppend = n.postAppend
+	topo := netsim.NewTopology(positions, 1, nil)
+	blockPlanner := alloc.NewPlanner(1)
+	blockPlanner.MinReplicas = 1
+	eng, err := engine.New(engine.Config{
+		Accounts:           cfg.Accounts,
+		Self:               selfIdx,
+		PoS:                cfg.PoS,
+		Genesis:            block.Genesis(cfg.GenesisSeed),
+		Now:                n.now,
+		ValidateClaims:     true,
+		Topology:           func() *netsim.Topology { return topo },
+		Planner:            alloc.NewPlanner(1),
+		BlockPlanner:       blockPlanner,
+		StorageCapacity:    cfg.StorageCapacity,
+		InitialRecentDepth: 1,
+		OnAppend:           n.onAppend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.eng = eng
 
 	// Crash recovery: replay blocks the store persisted in earlier runs
 	// before going online. Everything mined while this node was down is
@@ -294,14 +267,14 @@ func (n *Node) Connect(addrs ...string) error {
 func (n *Node) Height() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.ch.Height()
+	return n.eng.Height()
 }
 
 // Tip returns the current tip block.
 func (n *Node) Tip() *block.Block {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.ch.Tip()
+	return n.eng.Tip()
 }
 
 // HasData reports whether the node holds the content for id.
@@ -323,7 +296,7 @@ func (n *Node) StoreErr() error {
 func (n *Node) BlockHashAt(h uint64) (block.Hash, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	b := n.ch.At(h)
+	b := n.eng.Chain().At(h)
 	if b == nil {
 		return block.Hash{}, false
 	}
@@ -335,14 +308,7 @@ func (n *Node) BlockHashAt(h uint64) (block.Hash, bool) {
 func (n *Node) HasItemOnChain(id meta.DataID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for _, b := range n.ch.Blocks() {
-		for _, it := range b.Items {
-			if it.ID == id {
-				return true
-			}
-		}
-	}
-	return false
+	return n.eng.OnChain(id)
 }
 
 // SetOnData installs (or replaces) the data-arrival callback.
@@ -359,7 +325,7 @@ func (n *Node) Close() error {
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
 	}
-	tip := n.ch.Tip()
+	tip := n.eng.Tip()
 	n.mu.Unlock()
 	netErr := n.net.Close()
 	_ = n.store.Checkpoint(tip.Index, tip.Hash)
@@ -393,7 +359,7 @@ func (n *Node) Kill() error {
 func (n *Node) ChainSnapshot() []*block.Block {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return append([]*block.Block(nil), n.ch.Blocks()...)
+	return append([]*block.Block(nil), n.eng.Chain().Blocks()...)
 }
 
 // LedgerStats returns every roster node's stake S_i and storage credit
@@ -401,21 +367,28 @@ func (n *Node) ChainSnapshot() []*block.Block {
 func (n *Node) LedgerStats() (s, q []uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	s = make([]uint64, n.ledger.N())
-	q = make([]uint64, n.ledger.N())
+	led := n.eng.Ledger()
+	s = make([]uint64, led.N())
+	q = make([]uint64, led.N())
 	for i := range s {
-		s[i] = n.ledger.S(i)
-		q[i] = n.ledger.Q(i)
+		s[i] = led.S(i)
+		q[i] = led.Q(i)
 	}
 	return s, q
 }
 
 // StorageUsed returns the chain-derived per-node storage usage this node's
-// placement view currently assumes.
+// placement view currently assumes (live data items, block bodies and
+// recent-cache slots; expired items no longer count).
 func (n *Node) StorageUsed() []int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return append([]int(nil), n.view.used...)
+	now := n.now()
+	out := make([]int, len(n.cfg.Accounts))
+	for i := range out {
+		out[i] = n.eng.View().Used(i, now)
+	}
+	return out
 }
 
 // now returns the current time as an offset from the shared epoch.
@@ -436,7 +409,7 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 		return nil, err
 	}
 	n.mu.Lock()
-	n.pool[it.ID] = it
+	n.eng.AddLocal(it)
 	n.mu.Unlock()
 	n.net.Broadcast(p2p.FrameMeta, it.Encode())
 	return it, nil

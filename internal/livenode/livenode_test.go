@@ -265,7 +265,7 @@ func TestChainCodecRoundTrip(t *testing.T) {
 	nodes := newCluster(t, 2, time.Second)
 	waitFor(t, 15*time.Second, "a block", func() bool { return nodes[0].Height() >= 1 })
 	nodes[0].mu.Lock()
-	blocks := nodes[0].ch.Blocks()
+	blocks := nodes[0].eng.Chain().Blocks()
 	enc := encodeChain(blocks)
 	nodes[0].mu.Unlock()
 	got, err := decodeChain(enc)

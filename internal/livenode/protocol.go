@@ -1,33 +1,18 @@
 package livenode
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
-	"time"
 
 	"repro/internal/block"
 	"repro/internal/chain"
+	"repro/internal/engine"
 	"repro/internal/meta"
 	"repro/internal/p2p"
-	"repro/internal/pos"
 )
 
-// --- chain hooks -----------------------------------------------------------
-
-// preAppend validates PoS claims against the ledger state as of the
-// parent. Called with n.mu held (all chain mutations happen under it).
-func (n *Node) preAppend(prev, b *block.Block) error {
-	// Clock-skew tolerance for real deployments.
-	if b.Timestamp > n.now()+2*time.Second {
-		return errTimestampFuture
-	}
-	return n.cfg.PoS.ValidateClaim(prev, b, n.ledger)
-}
-
-var errTimestampFuture = errors.New("livenode: block timestamp in the future")
+// --- engine callbacks --------------------------------------------------------
 
 // noteStoreErrLocked records a persistence error: the first one sticks in
 // storeErr (the API contract), every one lands in the telemetry event
@@ -42,12 +27,12 @@ func (n *Node) noteStoreErrLocked(err error) {
 	n.tel.events.RecordAt(n.clock.Now(), "store_error", err.Error())
 }
 
-// postAppend applies side effects of an adopted block (n.mu held).
-func (n *Node) postAppend(b *block.Block) {
-	if err := n.ledger.ApplyBlock(b); err != nil {
-		panic("livenode: ledger apply: " + err.Error())
-	}
-	n.view.apply(b)
+// onAppend layers the live node's I/O side effects on top of a block the
+// engine adopted (ledger, view, pool and item index are already updated).
+// The engine calls it synchronously from ReceiveBlock/Mine/AppendTrusted,
+// so n.mu is held.
+func (n *Node) onAppend(ev engine.AppendEvent) {
+	b := ev.Block
 	if n.replaying {
 		n.tel.blocksReplayed.Inc()
 	} else {
@@ -65,21 +50,16 @@ func (n *Node) postAppend(b *block.Block) {
 			n.pruneExpiredLocked()
 		}
 	}
-	for _, it := range b.Items {
-		delete(n.pool, it.ID)
+	for _, ie := range ev.Items {
 		if n.replaying {
 			continue // no networking during WAL replay
 		}
 		// If assigned to store and lacking content, fetch it. Scheduled
 		// through the clock (not a bare goroutine) so virtual-clock runs
 		// issue the request at a deterministic point.
-		for _, sn := range it.StoringNodes {
-			if sn == n.selfIdx {
-				if !n.store.HasData(it.ID) {
-					id := it.ID
-					n.clock.AfterFunc(0, func() { n.RequestData(id) })
-				}
-			}
+		if ie.AssignedToSelf && !n.store.HasData(ie.Item.ID) {
+			id := ie.Item.ID
+			n.clock.AfterFunc(0, func() { n.RequestData(id) })
 		}
 	}
 	if cb := n.cfg.OnBlock; cb != nil && !n.replaying {
@@ -88,10 +68,10 @@ func (n *Node) postAppend(b *block.Block) {
 }
 
 // replayRecovered replays blocks the store recovered from its WAL into
-// the chain replica, before networking starts. Each block passes the same
-// PreAppend validation as a live block (PoS claim against the replayed
-// ledger); the first failure stops the replay and rewrites the WAL to the
-// surviving prefix so the corruption cannot resurface.
+// the chain replica, before networking starts. Each block runs the normal
+// engine state transitions; the first failure stops the replay and
+// rewrites the WAL to the surviving prefix so the corruption cannot
+// resurface.
 func (n *Node) replayRecovered() {
 	recovered := n.store.RecoveredBlocks()
 	if len(recovered) == 0 {
@@ -102,7 +82,7 @@ func (n *Node) replayRecovered() {
 	n.replaying = true
 	defer func() { n.replaying = false }()
 	for i, b := range recovered {
-		if err := n.ch.AppendTrusted(b); err != nil {
+		if err := n.eng.AppendTrusted(b); err != nil {
 			n.noteStoreErrLocked(err)
 			n.noteStoreErrLocked(n.store.ResetChain(recovered[:i]))
 			return
@@ -116,15 +96,9 @@ func (n *Node) replayRecovered() {
 // consumer — are kept.
 func (n *Node) pruneExpiredLocked() {
 	now := n.now()
-	latest := make(map[meta.DataID]*meta.Item)
-	for _, b := range n.ch.Blocks() {
-		for _, it := range b.Items {
-			latest[it.ID] = it
-		}
-	}
 	_, _ = n.store.PruneData(func(id meta.DataID) bool {
-		it, ok := latest[id]
-		return ok && it.Expired(now)
+		it := n.eng.LiveItem(id)
+		return it != nil && it.Expired(now)
 	})
 }
 
@@ -139,24 +113,19 @@ func (n *Node) scheduleMiningLocked() {
 	if n.closed {
 		return
 	}
-	prev := n.ch.Tip()
-	bval := n.cfg.PoS.AmendmentB(n.ledger.N(), n.ledger.UBar())
-	hit := n.cfg.PoS.Hit(prev, n.cfg.Identity.Address())
-	t := pos.TimeToMine(hit, n.ledger.U(n.selfIdx), bval)
-	if t == pos.NeverMines {
+	r, ok := n.eng.NextRound()
+	if !ok {
 		return
 	}
-	fireAt := n.cfg.Epoch.Add(prev.Timestamp + time.Duration(t)*time.Second)
-	delay := fireAt.Sub(n.clock.Now())
+	delay := n.cfg.Epoch.Add(r.FireAt()).Sub(n.clock.Now())
 	if delay < 0 {
 		delay = 0
 	}
-	prevHash := prev.Hash
-	n.mineTimer = n.clock.AfterFunc(delay, func() { n.mine(prevHash, t, bval) })
+	n.mineTimer = n.clock.AfterFunc(delay, func() { n.mine(r) })
 }
 
 // mine assembles and broadcasts the next block if the round is still open.
-func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
+func (n *Node) mine(r engine.Round) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -165,54 +134,19 @@ func (n *Node) mine(prevHash block.Hash, minedAfter uint64, bval float64) {
 	// Every timer fire is an attempt; attempts minus blocks_won measures
 	// rounds lost to faster miners or stale tips.
 	n.tel.miningAttempts.Inc()
-	prev := n.ch.Tip()
-	if prev.Hash != prevHash {
-		n.mu.Unlock()
-		return
-	}
-	bld := block.NewBuilder(prev, n.cfg.Identity.Address(), n.now(), minedAfter, bval)
-	states := n.view.states()
-	// Pack pool items in sorted-ID order: map iteration order would leak
-	// into block contents and break run-to-run determinism.
-	ids := make([]meta.DataID, 0, len(n.pool))
-	for id := range n.pool {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return bytes.Compare(ids[a][:], ids[b][:]) < 0 })
-	for _, id := range ids {
-		it := n.pool[id]
-		if it.Expired(n.now()) {
-			delete(n.pool, it.ID)
-			continue
-		}
-		pl, err := n.planner.Place(n.topo, states)
-		if err != nil {
-			continue
-		}
-		packed := it.Clone()
-		packed.StoringNodes = pl.StoringNodes
-		bld.AddItem(packed)
-		for _, sn := range pl.StoringNodes {
-			states[sn].Used++
-		}
-	}
-	if pl, err := n.planner.Place(n.topo, states); err == nil {
-		bld.SetStoringNodes(pl.StoringNodes)
-		for _, sn := range pl.StoringNodes {
-			states[sn].Used++
-		}
-	}
-	if pl, err := n.planner.Place(n.topo, states); err == nil {
-		bld.SetRecentAssignees(pl.StoringNodes)
-	}
-	bld.SetPrevStoringNodes(prev.StoringNodes)
-	blk := bld.Seal()
-	if _, err := n.ch.Add(blk); err != nil {
+	res, err := n.eng.Mine(r)
+	if err != nil {
 		// Should not happen for our own block; drop the round and re-arm.
 		n.scheduleMiningLocked()
 		n.mu.Unlock()
 		return
 	}
+	if res == nil {
+		// The round moved on; the block that beat us already re-armed.
+		n.mu.Unlock()
+		return
+	}
+	blk := res.Block
 	n.tel.blocksWon.Inc()
 	n.tel.events.RecordAt(n.clock.Now(), "block_won", fmt.Sprintf("height %d, %d items", blk.Index, len(blk.Items)))
 	n.scheduleMiningLocked()
@@ -226,13 +160,11 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 	switch ft {
 	case p2p.FrameMeta:
 		it, err := meta.Decode(payload)
-		if err != nil || it.Verify() != nil {
+		if err != nil {
 			return
 		}
 		n.mu.Lock()
-		if _, dup := n.pool[it.ID]; !dup {
-			n.pool[it.ID] = it
-		}
+		n.eng.AddMetadata(it) // verifies the signature, dedups vs pool+chain
 		n.mu.Unlock()
 
 	case p2p.FrameBlock:
@@ -241,7 +173,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			return
 		}
 		n.mu.Lock()
-		_, addErr := n.ch.Add(blk)
+		_, addErr := n.eng.ReceiveBlock(blk)
 		if addErr == nil {
 			n.scheduleMiningLocked()
 		}
@@ -257,7 +189,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 
 	case p2p.FrameChainRequest:
 		n.mu.Lock()
-		payload := encodeChain(n.ch.Blocks())
+		payload := encodeChain(n.eng.Chain().Blocks())
 		n.mu.Unlock()
 		n.net.Send(from, p2p.FrameChain, payload)
 
@@ -313,49 +245,23 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 	}
 }
 
-// adoptChain validates and adopts a longer chain.
+// adoptChain validates and adopts a longer chain. Validation (claim
+// replay, checkpoint finality, strict-longer rule) lives in the engine;
+// this adapter layers telemetry and WAL persistence on top.
 func (n *Node) adoptChain(blocks []*block.Block) {
-	if len(blocks) == 0 {
-		return
-	}
-	// Replay claims on a scratch ledger first.
-	scratch := pos.NewLedger(n.cfg.Accounts)
-	for i := 1; i < len(blocks); i++ {
-		if err := n.cfg.PoS.ValidateClaim(blocks[i-1], blocks[i], scratch); err != nil {
-			return
-		}
-		if err := scratch.ApplyBlock(blocks[i]); err != nil {
-			return
-		}
-	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	oldHeight := n.ch.Height()
-	replaced, err := n.ch.ReplaceIfLonger(blocks)
-	if err != nil || !replaced {
+	oldHeight := n.eng.Height()
+	if !n.eng.AdoptChain(blocks) {
 		return
-	}
-	if err := n.ledger.Rebuild(n.ch.Blocks()); err != nil {
-		panic("livenode: ledger rebuild: " + err.Error())
 	}
 	n.tel.forkAdoptions.Inc()
 	n.tel.events.RecordAt(n.clock.Now(), "fork_adopted",
-		fmt.Sprintf("height %d -> %d", oldHeight, n.ch.Height()))
+		fmt.Sprintf("height %d -> %d", oldHeight, n.eng.Height()))
 	n.updateChainGauges()
-	n.view.reset()
-	for _, b := range n.ch.Blocks() {
-		if b.Index > 0 {
-			n.view.apply(b)
-		}
-	}
-	for _, b := range n.ch.Blocks() {
-		for _, it := range b.Items {
-			delete(n.pool, it.ID)
-		}
-	}
 	// The persisted chain was replaced wholesale; rewrite the WAL to
 	// match (genesis is never persisted).
-	n.noteStoreErrLocked(n.store.ResetChain(n.ch.Blocks()[1:]))
+	n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))
 	n.scheduleMiningLocked()
 }
 

@@ -1,0 +1,25 @@
+package pos
+
+import (
+	"repro/internal/block"
+	"repro/internal/identity"
+)
+
+// Round computes one full mining round for account on top of prev: the
+// network-wide amendment B of eq. (14) derived from the ledger, the
+// account's hit (eq. 7), and the resulting winning time (eqs. 8–9).
+//
+// This is the single site of the round-time computation shared by the
+// consensus engine (and therefore by both the simulated and the live
+// node): validators cross-check the same values through ValidateClaim.
+// It returns (NeverMines, 0) when the account is not in the ledger or the
+// network is degenerate (AmendmentB of 0).
+func (p Params) Round(prev *block.Block, account identity.Address, led *Ledger) (t uint64, b float64) {
+	idx, ok := led.IndexOf(account)
+	if !ok {
+		return NeverMines, 0
+	}
+	b = p.AmendmentB(led.N(), led.UBar())
+	hit := p.Hit(prev, account)
+	return TimeToMine(hit, led.U(idx), b), b
+}

@@ -1,0 +1,90 @@
+package pos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/identity"
+)
+
+// goldenRoster builds the deterministic 5-node roster used by the pinned
+// round values below.
+func goldenRoster(t *testing.T) ([]identity.Address, *Ledger) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	accounts := make([]identity.Address, 5)
+	for i := range accounts {
+		accounts[i] = identity.GenerateSeeded(rng).Address()
+	}
+	return accounts, NewLedger(accounts)
+}
+
+// TestRoundGoldenDefaults pins the eq. 14 amendment and the per-node
+// winning times for the paper's default parameters (M = 2^40, t0 = 60 s)
+// on a fresh 5-node ledger mining on top of a seeded genesis. Any drift in
+// the round-time math — now shared by the simulated and the live node —
+// breaks these values.
+func TestRoundGoldenDefaults(t *testing.T) {
+	p := DefaultParams()
+	accounts, led := goldenRoster(t)
+	g := block.Genesis(42)
+
+	// Fresh ledger: S_i = Q_i = 1 for everyone, so Ū = 1 and eq. (14)
+	// reduces to B = M / ((n+1)·t0) = 2^40 / 360.
+	wantB := float64(p.M) / (float64(len(accounts)+1) * p.T0.Seconds())
+	const wantBPinned = 3.0541989660444446e+09
+	if wantB != wantBPinned {
+		t.Fatalf("closed-form B = %v, pinned %v", wantB, wantBPinned)
+	}
+
+	wantHits := []uint64{307153172725, 669827469443, 558682180280, 835284038862, 1087977672992}
+	wantTimes := []uint64{101, 220, 183, 274, 357}
+	for i, a := range accounts {
+		if hit := p.Hit(g, a); hit != wantHits[i] {
+			t.Errorf("node %d: hit = %d, pinned %d", i, hit, wantHits[i])
+		}
+		tt, b := p.Round(g, a, led)
+		if b != wantBPinned {
+			t.Errorf("node %d: B = %v, pinned %v", i, b, wantBPinned)
+		}
+		if tt != wantTimes[i] {
+			t.Errorf("node %d: t = %d, pinned %d", i, tt, wantTimes[i])
+		}
+	}
+}
+
+// TestRoundMatchesParts checks that Round is exactly the composition of
+// AmendmentB, Hit and TimeToMine it replaces, on a non-trivial ledger.
+func TestRoundMatchesParts(t *testing.T) {
+	p := Params{M: DefaultM, T0: 30 * time.Second}
+	accounts, led := goldenRoster(t)
+	prev := block.Genesis(7)
+	// Skew the ledger so U_i differs per node.
+	b1 := block.NewBuilder(prev, accounts[1], time.Second, 1, 0)
+	b1.SetStoringNodes([]int{2, 3})
+	blk := b1.Seal()
+	if err := led.ApplyBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range accounts {
+		wantB := p.AmendmentB(led.N(), led.UBar())
+		wantT := TimeToMine(p.Hit(blk, a), led.U(i), wantB)
+		gotT, gotB := p.Round(blk, a, led)
+		if gotT != wantT || gotB != wantB {
+			t.Errorf("node %d: Round = (%d, %v), parts = (%d, %v)", i, gotT, gotB, wantT, wantB)
+		}
+	}
+}
+
+// TestRoundUnknownAccount: accounts outside the roster never mine.
+func TestRoundUnknownAccount(t *testing.T) {
+	p := DefaultParams()
+	_, led := goldenRoster(t)
+	stranger := identity.GenerateSeeded(rand.New(rand.NewSource(99))).Address()
+	tt, b := p.Round(block.Genesis(42), stranger, led)
+	if tt != NeverMines || b != 0 {
+		t.Fatalf("stranger Round = (%d, %v), want (NeverMines, 0)", tt, b)
+	}
+}
