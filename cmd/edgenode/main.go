@@ -50,6 +50,10 @@ func main() {
 		epochUnix  = flag.Int64("epoch", 0, "shared epoch as unix seconds (must match; default: now, fine for the first node)")
 		publish    = flag.Duration("publish", 0, "publish a demo data item this often (0 = never)")
 		dataDir    = flag.String("data-dir", "", "directory for the durable block WAL and data store (empty = in-memory)")
+		syncBatch  = flag.Int("sync-batch", 0, "blocks per incremental-sync batch (0 = default 64)")
+		syncTmo    = flag.Duration("sync-timeout", 0, "per-batch sync response deadline (0 = default 2s)")
+		verifyWrk  = flag.Int("verify-workers", 0, "parallel signature-verification workers for sync suffixes (0 = default 4)")
+		snapEvery  = flag.Int("snapshot-every", 0, "ledger snapshot cadence in blocks, for incremental fork adoption (0 = default 32)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always|batch|none")
 		metricsAdr = flag.String("metrics-addr", "", "HTTP address serving /metrics (JSON) and /debug/vars (expvar); empty = disabled")
 	)
@@ -98,14 +102,18 @@ func main() {
 	params := pos.DefaultParams()
 	params.T0 = *t0
 	node, err := livenode.New(livenode.Config{
-		Identity:    idents[*index],
-		Accounts:    accounts,
-		PoS:         params,
-		GenesisSeed: *genesis,
-		Epoch:       epoch,
-		ListenAddr:  *listen,
-		Store:       nodeStore,
-		Telemetry:   reg,
+		Identity:      idents[*index],
+		Accounts:      accounts,
+		PoS:           params,
+		GenesisSeed:   *genesis,
+		Epoch:         epoch,
+		ListenAddr:    *listen,
+		Store:         nodeStore,
+		Telemetry:     reg,
+		SyncBatchSize: *syncBatch,
+		SyncTimeout:   *syncTmo,
+		VerifyWorkers: *verifyWrk,
+		SnapshotEvery: *snapEvery,
 		OnBlock: func(b *block.Block) {
 			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
 		},

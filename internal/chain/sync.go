@@ -1,0 +1,162 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// This file holds the replica-side primitives of the incremental sync
+// protocol (DESIGN.md §10): block locators for fork-point discovery,
+// bounded block ranges for batched transfer, and suffix replacement for
+// adopting a fork without rebuilding the whole replica.
+
+// LocatorEntry is one (height, hash) sample of a block locator.
+type LocatorEntry struct {
+	Height uint64
+	Hash   block.Hash
+}
+
+// MaxLocatorLen bounds a locator: 12 dense tip samples plus one sample
+// per power-of-two step back to genesis covers any chain that fits in a
+// uint64 height within this many entries.
+const MaxLocatorLen = 12 + 64 + 1
+
+// Locator samples the replica's chain tip-first: the 12 most recent
+// blocks densely, then exponentially sparser heights (step doubling each
+// entry), always ending with genesis. A peer intersects the locator with
+// its own chain to find the highest common ancestor without either side
+// shipping full chains — the standard block-locator construction.
+func (c *Chain) Locator() []LocatorEntry {
+	out := make([]LocatorEntry, 0, 16)
+	h := c.Height()
+	step := uint64(1)
+	for {
+		out = append(out, LocatorEntry{Height: h, Hash: c.blocks[h].Hash})
+		if h == 0 {
+			return out
+		}
+		if len(out) >= 12 {
+			step *= 2
+		}
+		if h <= step {
+			h = 0
+		} else {
+			h -= step
+		}
+	}
+}
+
+// FindForkPoint returns the height of the highest locator entry that
+// matches this replica's chain. ok is false when nothing matches — which
+// cannot happen between peers sharing a genesis block, since every
+// locator ends with genesis.
+func (c *Chain) FindForkPoint(loc []LocatorEntry) (uint64, bool) {
+	best := uint64(0)
+	found := false
+	for _, e := range loc {
+		if e.Height >= uint64(len(c.blocks)) {
+			continue
+		}
+		if c.blocks[e.Height].Hash == e.Hash {
+			if !found || e.Height > best {
+				best = e.Height
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Range returns the blocks with indices in [from, to], clamped to what
+// the replica holds. An empty slice means the range is entirely beyond
+// the tip (or inverted).
+func (c *Chain) Range(from, to uint64) []*block.Block {
+	if to > c.Height() {
+		to = c.Height()
+	}
+	if from > to {
+		return nil
+	}
+	out := make([]*block.Block, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, c.blocks[i])
+	}
+	return out
+}
+
+// Suffix replacement errors.
+var (
+	// ErrBadSuffix means the candidate suffix is structurally unusable:
+	// empty, non-contiguous, or not linked to a block this replica holds.
+	ErrBadSuffix = errors.New("chain: bad suffix")
+	// ErrSuffixNotLonger means fork point + suffix does not beat the
+	// current height (longest-chain rule keeps ours).
+	ErrSuffixNotLonger = errors.New("chain: suffix does not extend past current tip")
+)
+
+// CheckSuffixLinks verifies a candidate suffix's spine against this
+// replica without touching any state: the suffix must be non-empty,
+// contiguously indexed, linked (prev hash, timestamp, PoSHash chain) to
+// the replica's block at suffix[0].Index-1, internally linked, and must
+// reach strictly past the current tip. It does NOT run VerifySelf — the
+// caller is expected to content-verify blocks (possibly in parallel)
+// before committing. On success it returns the fork-point height.
+func (c *Chain) CheckSuffixLinks(suffix []*block.Block) (forkPoint uint64, err error) {
+	if len(suffix) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrBadSuffix)
+	}
+	first := suffix[0]
+	if first.Index == 0 {
+		return 0, fmt.Errorf("%w: cannot replace genesis", ErrBadSuffix)
+	}
+	forkPoint = first.Index - 1
+	parent := c.At(forkPoint)
+	if parent == nil {
+		return 0, fmt.Errorf("%w: fork point %d beyond tip %d", ErrBadSuffix, forkPoint, c.Height())
+	}
+	prev := parent
+	for i, b := range suffix {
+		if b.Index != forkPoint+1+uint64(i) {
+			return 0, fmt.Errorf("%w: non-contiguous index %d at offset %d", ErrBadSuffix, b.Index, i)
+		}
+		if err := b.VerifyLink(prev); err != nil {
+			return 0, fmt.Errorf("%w: offset %d: %v", ErrBadSuffix, i, err)
+		}
+		prev = b
+	}
+	if forkPoint+uint64(len(suffix)) <= c.Height() {
+		return 0, fmt.Errorf("%w: reaches %d, tip is %d", ErrSuffixNotLonger, forkPoint+uint64(len(suffix)), c.Height())
+	}
+	return forkPoint, nil
+}
+
+// ReplaceSuffix swaps everything above forkPoint for the given suffix.
+// The caller must have validated the suffix (CheckSuffixLinks plus
+// content verification and any consensus-level claim checks): this method
+// re-checks only the cheap structural facts and otherwise mutates
+// blindly. PreAppend/PostAppend hooks do NOT run — callers that track
+// derived state update it themselves, exactly as with ReplaceIfLonger.
+func (c *Chain) ReplaceSuffix(forkPoint uint64, suffix []*block.Block) error {
+	fp, err := c.CheckSuffixLinks(suffix)
+	if err != nil {
+		return err
+	}
+	if fp != forkPoint {
+		return fmt.Errorf("%w: suffix starts at %d, caller claimed fork point %d", ErrBadSuffix, fp+1, forkPoint+1)
+	}
+	for _, b := range c.blocks[forkPoint+1:] {
+		delete(c.byHash, b.Hash)
+	}
+	// Fresh backing array: Blocks() callers may still hold the old slice.
+	blocks := make([]*block.Block, 0, forkPoint+1+uint64(len(suffix)))
+	blocks = append(blocks, c.blocks[:forkPoint+1]...)
+	blocks = append(blocks, suffix...)
+	c.blocks = blocks
+	for _, b := range suffix {
+		c.byHash[b.Hash] = b.Index
+	}
+	c.pending = make(map[uint64]*block.Block)
+	return nil
+}

@@ -1,0 +1,193 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+)
+
+// chainOf builds a replica holding the given pre-built blocks.
+func chainOf(t *testing.T, blocks []*block.Block) *Chain {
+	t.Helper()
+	c := New(blocks[0])
+	for _, b := range blocks[1:] {
+		if _, err := c.Add(b); err != nil {
+			t.Fatalf("add block %d: %v", b.Index, err)
+		}
+	}
+	return c
+}
+
+func TestLocatorShape(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 11, 12, 13, 40, 200} {
+		blocks := buildChain(t, 1, n)
+		c := chainOf(t, blocks)
+		loc := c.Locator()
+		if len(loc) == 0 || len(loc) > MaxLocatorLen {
+			t.Fatalf("n=%d: locator of %d entries outside (0, %d]", n, len(loc), MaxLocatorLen)
+		}
+		if loc[0].Height != uint64(n) || loc[0].Hash != c.Tip().Hash {
+			t.Fatalf("n=%d: locator must start at the tip", n)
+		}
+		last := loc[len(loc)-1]
+		if last.Height != 0 || last.Hash != blocks[0].Hash {
+			t.Fatalf("n=%d: locator must end with genesis", n)
+		}
+		// Strictly descending heights, hashes that match the chain.
+		for i, e := range loc {
+			if i > 0 && e.Height >= loc[i-1].Height {
+				t.Fatalf("n=%d: locator heights not strictly descending at %d", n, i)
+			}
+			if c.At(e.Height).Hash != e.Hash {
+				t.Fatalf("n=%d: locator entry %d hash mismatch", n, i)
+			}
+		}
+		// The 12 most recent blocks are sampled densely.
+		for i := 0; i < 12 && i <= n; i++ {
+			if loc[i].Height != uint64(n-i) {
+				t.Fatalf("n=%d: dense region broken at %d: height %d", n, i, loc[i].Height)
+			}
+		}
+	}
+}
+
+func TestFindForkPoint(t *testing.T) {
+	shared := buildChain(t, 1, 30)
+	a := chainOf(t, shared)
+
+	// b shares the first 21 blocks (fork point 20), then diverges.
+	bBlocks := append([]*block.Block(nil), shared[:21]...)
+	m := testMiner(99)
+	for i := 0; i < 15; i++ {
+		prev := bBlocks[len(bBlocks)-1]
+		bBlocks = append(bBlocks, nextBlock(prev, m, prev.Timestamp+time.Minute))
+	}
+	b := chainOf(t, bBlocks)
+
+	fork, ok := b.FindForkPoint(a.Locator())
+	if !ok {
+		t.Fatal("no fork point despite shared genesis")
+	}
+	// The locator is sparse away from a's tip, so the responder finds the
+	// highest *sampled* common height — at or below the true fork point.
+	if fork > 20 {
+		t.Fatalf("fork point %d beyond true divergence 20", fork)
+	}
+	if a.At(fork).Hash != b.At(fork).Hash {
+		t.Fatalf("fork point %d not actually common", fork)
+	}
+
+	// A locator from a chain sharing everything resolves to the shorter tip.
+	sub := chainOf(t, shared[:11])
+	fork, ok = a.FindForkPoint(sub.Locator())
+	if !ok || fork != 10 {
+		t.Fatalf("pure-prefix fork point = %d, %v; want 10, true", fork, ok)
+	}
+
+	// No matching entries at all (different genesis): not found.
+	other := chainOf(t, buildChain(t, 777, 3))
+	if _, ok := a.FindForkPoint(other.Locator()); ok {
+		t.Fatal("fork point found across unrelated chains")
+	}
+}
+
+func TestRange(t *testing.T) {
+	blocks := buildChain(t, 1, 10)
+	c := chainOf(t, blocks)
+	got := c.Range(3, 6)
+	if len(got) != 4 || got[0].Index != 3 || got[3].Index != 6 {
+		t.Fatalf("Range(3,6) wrong: %d blocks", len(got))
+	}
+	if got := c.Range(8, 99); len(got) != 3 || got[2].Index != 10 {
+		t.Fatalf("Range beyond tip must clamp, got %d blocks", len(got))
+	}
+	if got := c.Range(11, 99); got != nil {
+		t.Fatal("Range entirely beyond tip must be empty")
+	}
+	if got := c.Range(6, 3); got != nil {
+		t.Fatal("inverted Range must be empty")
+	}
+}
+
+func TestCheckSuffixLinksAndReplaceSuffix(t *testing.T) {
+	shared := buildChain(t, 1, 12)
+	c := chainOf(t, shared)
+
+	// Competing suffix forking at height 8, longer than ours.
+	m := testMiner(5)
+	fork := append([]*block.Block(nil), shared[:9]...)
+	for i := 0; i < 8; i++ {
+		prev := fork[len(fork)-1]
+		fork = append(fork, nextBlock(prev, m, prev.Timestamp+time.Minute))
+	}
+	suffix := fork[9:]
+
+	fp, err := c.CheckSuffixLinks(suffix)
+	if err != nil || fp != 8 {
+		t.Fatalf("CheckSuffixLinks: fp=%d err=%v", fp, err)
+	}
+
+	// Rejections, none of which may mutate the chain.
+	if _, err := c.CheckSuffixLinks(nil); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("empty suffix: %v", err)
+	}
+	if _, err := c.CheckSuffixLinks(suffix[:2]); !errors.Is(err, ErrSuffixNotLonger) {
+		t.Fatalf("short suffix: %v", err)
+	}
+	if _, err := c.CheckSuffixLinks(suffix[1:]); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("unlinked suffix: %v", err)
+	}
+	gap := []*block.Block{suffix[0], suffix[2]}
+	if _, err := c.CheckSuffixLinks(gap); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("gapped suffix: %v", err)
+	}
+	future := nextBlock(c.Tip(), m, c.Tip().Timestamp+time.Minute)
+	future.Index += 5 // parent index beyond tip
+	if _, err := c.CheckSuffixLinks([]*block.Block{future}); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("beyond-tip suffix: %v", err)
+	}
+	if _, err := c.CheckSuffixLinks([]*block.Block{shared[0]}); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("genesis-replacing suffix: %v", err)
+	}
+
+	oldTail := c.Blocks() // held across the swap: must stay intact
+	oldTip := oldTail[len(oldTail)-1]
+
+	if err := c.ReplaceSuffix(7, suffix); !errors.Is(err, ErrBadSuffix) {
+		t.Fatalf("fork-point mismatch must be rejected: %v", err)
+	}
+	if err := c.ReplaceSuffix(8, suffix); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 16 || c.Tip() != suffix[len(suffix)-1] {
+		t.Fatalf("after replace: height %d", c.Height())
+	}
+	if c.ByHash(oldTip.Hash) != nil {
+		t.Fatal("abandoned block still indexed by hash")
+	}
+	for _, b := range suffix {
+		if c.ByHash(b.Hash) != b || c.At(b.Index) != b {
+			t.Fatalf("suffix block %d not indexed", b.Index)
+		}
+	}
+	// Common prefix untouched, and the snapshot slice kept its blocks.
+	for i := uint64(0); i <= 8; i++ {
+		if c.At(i) != shared[i] {
+			t.Fatalf("prefix block %d replaced", i)
+		}
+	}
+	if oldTail[len(oldTail)-1] != oldTip {
+		t.Fatal("previously held Blocks() slice was mutated in place")
+	}
+
+	// A pure tip-extension suffix (fork point == height) also works.
+	ext := []*block.Block{nextBlock(c.Tip(), m, c.Tip().Timestamp+time.Minute)}
+	if err := c.ReplaceSuffix(c.Height(), ext); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 17 {
+		t.Fatalf("extension not applied: height %d", c.Height())
+	}
+}

@@ -40,6 +40,14 @@ type Options struct {
 	// CheckpointEvery is the store checkpoint cadence in blocks (0 =
 	// livenode default).
 	CheckpointEvery int
+	// SyncBatchSize caps how many blocks one incremental-sync batch
+	// carries (0 = livenode default). Small values force multi-round
+	// batched catch-up in scenarios.
+	SyncBatchSize int
+	// SnapshotEvery is the engine ledger-snapshot cadence in blocks (0 =
+	// livenode default). Forks no deeper than this resolve without a
+	// scratch replay.
+	SnapshotEvery int
 	// Identities, when non-nil, overrides the seeded roster generation
 	// (len must equal N). The differential engine test uses it to run the
 	// exact same key pairs through the sim and the live stack.
@@ -151,6 +159,8 @@ func (c *Cluster) startNode(i int) error {
 		Store:           st,
 		StorageCapacity: c.opts.StorageCapacity,
 		CheckpointEvery: c.opts.CheckpointEvery,
+		SyncBatchSize:   c.opts.SyncBatchSize,
+		SnapshotEvery:   c.opts.SnapshotEvery,
 		Telemetry:       c.nodeRegs[i],
 	})
 	if err != nil {

@@ -107,6 +107,16 @@ type Config struct {
 	// candidate rewriting history at or below the newest multiple of this
 	// interval is refused even if longer (0 = disabled).
 	CheckpointInterval int
+	// SnapshotInterval, when positive, freezes a ledger/view snapshot
+	// every this many blocks so AdoptSuffix can validate fork suffixes by
+	// replaying only blocks past the snapshot instead of the whole chain
+	// (0 = snapshots off; true forks then always scratch-replay).
+	SnapshotInterval int
+	// VerifyWorkers bounds the goroutine pool AdoptSuffix uses to verify
+	// batch block content (hashes + metadata signatures) in parallel;
+	// <= 1 verifies sequentially. The accept/reject outcome is
+	// deterministic regardless of the setting.
+	VerifyWorkers int
 
 	// Topology returns the placement topology (home positions for the
 	// sim, a 1-hop clique for the live mesh).
@@ -154,6 +164,9 @@ type Engine struct {
 	liveItems map[meta.DataID]*meta.Item
 	// migrateCursor round-robins migration checks across live items.
 	migrateCursor int
+	// snaps holds the periodic state snapshots AdoptSuffix adopts from
+	// (ascending height, at most snapshotKeep entries).
+	snaps []snapshot
 }
 
 // New builds an engine. The genesis block is adopted immediately.
@@ -324,6 +337,7 @@ func (e *Engine) postAppend(b *block.Block) {
 		e.liveItems[it.ID] = it
 		ev.Items = append(ev.Items, ie)
 	}
+	e.maybeSnapshot(b.Index)
 	if cb := e.cfg.OnAppend; cb != nil {
 		cb(ev)
 	}
@@ -401,6 +415,9 @@ func (e *Engine) AdoptChain(blocks []*block.Block) bool {
 			delete(e.pool, it.ID)
 		}
 	}
+	// Snapshots taken on the abandoned branch are now invalid; ones on the
+	// surviving common prefix stay usable.
+	e.pruneSnapshots()
 	return true
 }
 

@@ -130,6 +130,32 @@ func (v *StorageView) applyItem(it *meta.Item) {
 	}
 }
 
+// Clone returns an independent deep copy of the view. Snapshots for
+// incremental fork adoption (AdoptSuffix) replay candidate suffixes on a
+// clone so a rejected candidate leaves the live view untouched.
+func (v *StorageView) Clone() *StorageView {
+	cp := &StorageView{
+		capacity:     v.capacity,
+		initialDepth: v.initialDepth,
+		depthCap:     v.depthCap,
+		dataLive:     append([]int(nil), v.dataLive...),
+		blockBodies:  append([]int(nil), v.blockBodies...),
+		recentDepth:  append([]int(nil), v.recentDepth...),
+		height:       v.height,
+		assignments:  make(map[meta.DataID][]int, len(v.assignments)),
+		expiries:     append(expiryHeap(nil), v.expiries...),
+		expired:      make(map[meta.DataID]bool, len(v.expired)),
+		mobility:     v.mobility,
+	}
+	for id, nodes := range v.assignments {
+		cp.assignments[id] = append([]int(nil), nodes...)
+	}
+	for id := range v.expired {
+		cp.expired[id] = true
+	}
+	return cp
+}
+
 // Rebuild replays a whole chain into a fresh view (fork adoption).
 func (v *StorageView) Rebuild(blocks []*block.Block) {
 	for i := range v.dataLive {

@@ -72,6 +72,28 @@ type Config struct {
 	// persistence cadence, distinct from the engine's consensus
 	// checkpoint-finality interval (which live nodes leave disabled).
 	CheckpointEvery int
+	// SyncBatchSize is how many blocks one incremental-sync batch request
+	// covers (default 64, capped at the protocol bound maxSyncBatch).
+	SyncBatchSize int
+	// SyncTimeout is the per-batch response deadline; each retry doubles
+	// it (default 2s).
+	SyncTimeout time.Duration
+	// SyncRetries is how many times an unanswered batch is re-requested
+	// before the node gives the peer up and falls back to the legacy
+	// whole-chain exchange (default 3).
+	SyncRetries int
+	// SnapshotEvery is the engine's ledger-snapshot cadence in blocks;
+	// snapshots let fork suffixes adopt without a scratch replay
+	// (default 32, see engine.Config.SnapshotInterval).
+	SnapshotEvery int
+	// VerifyWorkers bounds the worker pool that content-verifies sync
+	// suffixes in parallel (default 4).
+	VerifyWorkers int
+	// FetchTimeout is how long a pending data fetch may wait for a
+	// response before its latency bookkeeping is dropped (default 2m).
+	// Without it, fetches no peer can answer would pin their tracking
+	// entry forever.
+	FetchTimeout time.Duration
 	// OnBlock, if set, is called after each adopted block (any goroutine).
 	OnBlock func(b *block.Block)
 	// OnData, if set, is called when requested data content arrives.
@@ -103,6 +125,8 @@ type Node struct {
 	closed     bool
 	onData     func(id meta.DataID, content []byte)
 	fetchStart map[meta.DataID]time.Time // pending data fetches, for latency
+	sync       *syncSession              // at most one incremental sync in flight
+	syncGen    uint64                    // session generation, guards stale timers
 
 	tel *nodeMetrics
 }
@@ -115,12 +139,28 @@ type nodeMetrics struct {
 	blocksAdopted  *telemetry.Counter // live blocks appended (any miner)
 	blocksReplayed *telemetry.Counter // blocks replayed from the WAL
 	forkAdoptions  *telemetry.Counter // longer-chain replacements accepted
-	chainSyncs     *telemetry.Counter // chain-request rounds initiated
+	chainSyncs     *telemetry.Counter // legacy whole-chain rounds initiated
 	dataFetchNs    *telemetry.Histogram
-	height         *telemetry.Gauge
-	sGauges        []*telemetry.Gauge // per roster node stake S_i
-	qGauges        []*telemetry.Gauge // per roster node storage credit Q_i
-	events         *telemetry.Ring
+
+	// Incremental sync (DESIGN.md §10).
+	syncRounds         *telemetry.Counter   // locator probes sent
+	syncBatches        *telemetry.Counter   // batches received and accepted
+	syncRetries        *telemetry.Counter   // batch timeouts retried
+	syncAborts         *telemetry.Counter   // sessions dropped (divergence, races)
+	syncFallbacks      *telemetry.Counter   // falls back to the legacy exchange
+	syncFullReplays    *telemetry.Counter   // scratch replays (legacy or no snapshot)
+	syncBlocksFetched  *telemetry.Counter   // suffix blocks received over the wire
+	syncBlocksReplayed *telemetry.Counter   // own blocks replayed from a snapshot
+	syncBytesFetched   *telemetry.Counter   // suffix payload bytes received
+	syncBytesSaved     *telemetry.Counter   // bytes a whole-chain exchange would have added
+	syncVerifyParallel *telemetry.Counter   // blocks verified by the worker pool
+	syncBatchBlocks    *telemetry.Histogram // blocks per accepted batch
+
+	dataFetchExpired *telemetry.Counter // pending fetches dropped by FetchTimeout
+	height           *telemetry.Gauge
+	sGauges          []*telemetry.Gauge // per roster node stake S_i
+	qGauges          []*telemetry.Gauge // per roster node storage credit Q_i
+	events           *telemetry.Ring
 }
 
 func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
@@ -134,6 +174,21 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		dataFetchNs:    reg.Histogram("livenode.data.fetch_ns"),
 		height:         reg.Gauge("livenode.height"),
 		events:         reg.Events(),
+
+		syncRounds:         reg.Counter("livenode.sync.rounds"),
+		syncBatches:        reg.Counter("livenode.sync.batches"),
+		syncRetries:        reg.Counter("livenode.sync.retries"),
+		syncAborts:         reg.Counter("livenode.sync.aborts"),
+		syncFallbacks:      reg.Counter("livenode.sync.fallbacks"),
+		syncFullReplays:    reg.Counter("livenode.sync.full_replays"),
+		syncBlocksFetched:  reg.Counter("livenode.sync.blocks_fetched"),
+		syncBlocksReplayed: reg.Counter("livenode.sync.blocks_replayed"),
+		syncBytesFetched:   reg.Counter("livenode.sync.bytes_fetched"),
+		syncBytesSaved:     reg.Counter("livenode.sync.bytes_saved"),
+		syncVerifyParallel: reg.Counter("livenode.sync.verify_parallel"),
+		syncBatchBlocks:    reg.Histogram("livenode.sync.batch_blocks"),
+
+		dataFetchExpired: reg.Counter("livenode.data.fetch_expired"),
 	}
 	if reg != nil {
 		m.sGauges = make([]*telemetry.Gauge, rosterN)
@@ -172,6 +227,27 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 32
+	}
+	if cfg.SyncBatchSize <= 0 {
+		cfg.SyncBatchSize = defaultSyncBatch
+	}
+	if cfg.SyncBatchSize > maxSyncBatch {
+		cfg.SyncBatchSize = maxSyncBatch
+	}
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 2 * time.Second
+	}
+	if cfg.SyncRetries <= 0 {
+		cfg.SyncRetries = defaultSyncRetries
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 32
+	}
+	if cfg.VerifyWorkers <= 0 {
+		cfg.VerifyWorkers = 4
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Minute
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = WallClock()
@@ -217,6 +293,8 @@ func New(cfg Config) (*Node, error) {
 		BlockPlanner:       blockPlanner,
 		StorageCapacity:    cfg.StorageCapacity,
 		InitialRecentDepth: 1,
+		SnapshotInterval:   cfg.SnapshotEvery,
+		VerifyWorkers:      cfg.VerifyWorkers,
 		OnAppend:           n.onAppend,
 	})
 	if err != nil {
@@ -249,7 +327,9 @@ func New(cfg Config) (*Node, error) {
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.net.Addr() }
 
-// Connect dials peers and requests their chains.
+// Connect dials peers and probes their chains with a block locator; any
+// peer that is ahead answers with the header range of the missing suffix
+// (incremental sync, DESIGN.md §10).
 func (n *Node) Connect(addrs ...string) error {
 	for _, a := range addrs {
 		if err := n.net.Connect(a); err != nil {
@@ -258,8 +338,7 @@ func (n *Node) Connect(addrs ...string) error {
 	}
 	// Small grace for the handshake, then sync.
 	n.clock.Sleep(50 * time.Millisecond)
-	n.tel.chainSyncs.Inc()
-	n.net.Broadcast(p2p.FrameChainRequest, nil)
+	n.sendSyncLocator("")
 	return nil
 }
 
@@ -325,6 +404,7 @@ func (n *Node) Close() error {
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
 	}
+	n.clearSyncLocked()
 	tip := n.eng.Tip()
 	n.mu.Unlock()
 	netErr := n.net.Close()
@@ -346,6 +426,7 @@ func (n *Node) Kill() error {
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
 	}
+	n.clearSyncLocked()
 	n.mu.Unlock()
 	netErr := n.net.Close()
 	if err := n.store.Close(); err != nil && netErr == nil {
@@ -416,12 +497,37 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 }
 
 // RequestData asks all peers for a data item; the first holder to respond
-// wins and OnData fires.
+// wins and OnData fires. A fetch no peer ever answers would otherwise pin
+// its latency-tracking entry forever, so each registration arms an expiry
+// that drops the entry after FetchTimeout (a later RequestData for the
+// same ID starts tracking afresh).
 func (n *Node) RequestData(id meta.DataID) {
 	n.mu.Lock()
 	if _, pending := n.fetchStart[id]; !pending {
-		n.fetchStart[id] = n.clock.Now()
+		start := n.clock.Now()
+		n.fetchStart[id] = start
+		n.clock.AfterFunc(n.cfg.FetchTimeout, func() { n.expireFetch(id, start) })
 	}
 	n.mu.Unlock()
 	n.net.Broadcast(p2p.FrameDataRequest, id[:])
+}
+
+// expireFetch drops a pending-fetch entry that was never answered. The
+// start time identifies the registration: if the fetch completed and a new
+// one for the same ID began meanwhile, the stale timer must not touch it.
+func (n *Node) expireFetch(id meta.DataID, start time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if got, ok := n.fetchStart[id]; ok && got.Equal(start) {
+		delete(n.fetchStart, id)
+		n.tel.dataFetchExpired.Inc()
+	}
+}
+
+// pendingFetches reports how many data fetches are being tracked
+// (test hook for the expiry path).
+func (n *Node) pendingFetches() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.fetchStart)
 }

@@ -179,12 +179,11 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		}
 		n.mu.Unlock()
 		if addErr != nil && !errors.Is(addErr, chain.ErrDuplicate) {
-			// Gap or fork: ask the sender for its whole chain
-			// (Naivechain-style resolution). Duplicates — common on lossy
-			// links that re-deliver — carry no new information and must not
-			// trigger an O(chain) sync.
-			n.tel.chainSyncs.Inc()
-			n.net.Send(from, p2p.FrameChainRequest, nil)
+			// Gap or fork: probe the sender with a block locator and fetch
+			// only the missing suffix (incremental sync, DESIGN.md §10).
+			// Duplicates — common on lossy links that re-deliver — carry no
+			// new information and must not trigger a sync round.
+			n.sendSyncLocator(from)
 		}
 
 	case p2p.FrameChainRequest:
@@ -199,6 +198,48 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			return
 		}
 		n.adoptChain(blocks)
+
+	case p2p.FrameSyncLocator:
+		loc, err := decodeLocator(payload)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		resp := n.buildSyncHeadersLocked(loc)
+		n.mu.Unlock()
+		if resp != nil {
+			n.net.Send(from, p2p.FrameSyncHeaders, resp)
+		}
+
+	case p2p.FrameSyncHeaders:
+		h, err := decodeSyncHeaders(payload)
+		if err != nil {
+			return
+		}
+		n.handleSyncHeaders(from, h)
+
+	case p2p.FrameSyncGetBatch:
+		first, last, err := decodeGetBatch(payload)
+		if err != nil {
+			return
+		}
+		if last > first+maxSyncBatch-1 {
+			last = first + maxSyncBatch - 1
+		}
+		n.mu.Lock()
+		blocks := n.eng.Chain().Range(first, last)
+		n.mu.Unlock()
+		if len(blocks) == 0 {
+			return // nothing in range (requester will time out and retry)
+		}
+		n.net.Send(from, p2p.FrameSyncBatch, encodeBatch(first, blocks))
+
+	case p2p.FrameSyncBatch:
+		sb, err := decodeBatch(payload)
+		if err != nil {
+			return
+		}
+		n.handleSyncBatch(from, sb)
 
 	case p2p.FrameDataRequest:
 		if len(payload) != len(meta.DataID{}) {
@@ -245,9 +286,11 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 	}
 }
 
-// adoptChain validates and adopts a longer chain. Validation (claim
-// replay, checkpoint finality, strict-longer rule) lives in the engine;
-// this adapter layers telemetry and WAL persistence on top.
+// adoptChain validates and adopts a longer chain through the legacy
+// whole-chain path — a scratch replay from genesis, kept as the fallback
+// when incremental sync cannot apply. Validation (claim replay, checkpoint
+// finality, strict-longer rule) lives in the engine; this adapter layers
+// telemetry and WAL persistence on top.
 func (n *Node) adoptChain(blocks []*block.Block) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -256,6 +299,7 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 		return
 	}
 	n.tel.forkAdoptions.Inc()
+	n.tel.syncFullReplays.Inc()
 	n.tel.events.RecordAt(n.clock.Now(), "fork_adopted",
 		fmt.Sprintf("height %d -> %d", oldHeight, n.eng.Height()))
 	n.updateChainGauges()

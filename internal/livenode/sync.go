@@ -1,0 +1,575 @@
+package livenode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/p2p"
+)
+
+// Incremental batched chain sync (DESIGN.md §10). Instead of shipping a
+// whole chain on every gap or fork (the Naivechain-style FrameChain
+// exchange, kept as a fallback), a lagging node sends a block locator,
+// learns the fork point and a bounded header range from the peer, and
+// fetches only the missing suffix in bounded batches with per-batch
+// timeouts and exponential retry backoff:
+//
+//	lagging node                         peer
+//	  FrameSyncLocator(locator) ─────────▶
+//	  ◀──────── FrameSyncHeaders(fork, tip, headers)
+//	  FrameSyncGetBatch(from, to) ───────▶   ─┐ repeated per batch,
+//	  ◀──────────────── FrameSyncBatch(blocks) ┘ timeout ⇒ retry/backoff
+//	  … engine.AdoptSuffix …
+//
+// Protocol bounds. All frames are hard-bounded so a malicious peer can
+// neither trigger large allocations nor smuggle an unbounded chain:
+const (
+	// maxSyncHeaders bounds the header range of one sync round; a node
+	// lagging further simply runs multiple rounds.
+	maxSyncHeaders = 4096
+	// maxSyncBatch bounds the blocks of one FrameSyncGetBatch/Batch
+	// exchange, whatever the requester asked for.
+	maxSyncBatch = 512
+
+	defaultSyncBatch   = 64
+	defaultSyncRetries = 3
+)
+
+var errSyncFrame = errors.New("livenode: bad sync frame")
+
+// --- wire codecs --------------------------------------------------------------
+
+// syncHeaders is the decoded FrameSyncHeaders payload: the responder's
+// view of the fork point (with the hash of OUR block there, as proof it
+// intersected our locator), its tip height, and the contiguous header
+// range (fork+1 …) of the suffix it offers.
+type syncHeaders struct {
+	Fork     uint64
+	ForkHash block.Hash
+	Tip      uint64
+	Headers  []chain.LocatorEntry
+}
+
+// syncBatch is the decoded FrameSyncBatch payload.
+type syncBatch struct {
+	From   uint64
+	Blocks []*block.Block
+}
+
+type syncReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *syncReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = errSyncFrame
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *syncReader) uint64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *syncReader) uint32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *syncReader) hash() (h block.Hash) {
+	copy(h[:], r.take(len(h)))
+	return h
+}
+
+func (r *syncReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", errSyncFrame, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func putU64(out []byte, v uint64) []byte {
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], v)
+	return append(out, u[:]...)
+}
+
+func putU32(out []byte, v uint32) []byte {
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], v)
+	return append(out, u[:]...)
+}
+
+// encodeLocator serializes a block locator: count, then (height, hash)
+// entries tip-first.
+func encodeLocator(loc []chain.LocatorEntry) []byte {
+	out := make([]byte, 0, 4+len(loc)*40)
+	out = putU32(out, uint32(len(loc)))
+	for _, e := range loc {
+		out = putU64(out, e.Height)
+		out = append(out, e.Hash[:]...)
+	}
+	return out
+}
+
+func decodeLocator(payload []byte) ([]chain.LocatorEntry, error) {
+	r := &syncReader{b: payload}
+	n := int(r.uint32())
+	if r.err == nil && (n <= 0 || n > chain.MaxLocatorLen) {
+		return nil, fmt.Errorf("%w: locator of %d entries", errSyncFrame, n)
+	}
+	loc := make([]chain.LocatorEntry, 0, n)
+	for i := 0; i < n; i++ {
+		h := r.uint64()
+		hash := r.hash()
+		if r.err != nil {
+			break
+		}
+		// Locators are strictly descending tip-first; enforce the shape so
+		// a forged frame cannot bias fork-point search.
+		if i > 0 && h >= loc[i-1].Height {
+			return nil, fmt.Errorf("%w: locator heights not descending", errSyncFrame)
+		}
+		loc = append(loc, chain.LocatorEntry{Height: h, Hash: hash})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return loc, nil
+}
+
+// encodeSyncHeaders serializes fork point, fork hash, tip height and the
+// contiguous header range.
+func encodeSyncHeaders(h syncHeaders) []byte {
+	out := make([]byte, 0, 8+32+8+4+len(h.Headers)*40)
+	out = putU64(out, h.Fork)
+	out = append(out, h.ForkHash[:]...)
+	out = putU64(out, h.Tip)
+	out = putU32(out, uint32(len(h.Headers)))
+	for _, e := range h.Headers {
+		out = putU64(out, e.Height)
+		out = append(out, e.Hash[:]...)
+	}
+	return out
+}
+
+func decodeSyncHeaders(payload []byte) (syncHeaders, error) {
+	var h syncHeaders
+	r := &syncReader{b: payload}
+	h.Fork = r.uint64()
+	h.ForkHash = r.hash()
+	h.Tip = r.uint64()
+	n := int(r.uint32())
+	if r.err == nil && n > maxSyncHeaders {
+		return h, fmt.Errorf("%w: %d headers exceed cap %d", errSyncFrame, n, maxSyncHeaders)
+	}
+	h.Headers = make([]chain.LocatorEntry, 0, n)
+	for i := 0; i < n; i++ {
+		height := r.uint64()
+		hash := r.hash()
+		if r.err != nil {
+			break
+		}
+		// The header range must be contiguous and start right after the
+		// fork point: overlapping, descending or gapped ranges are forged.
+		if height != h.Fork+1+uint64(i) {
+			return h, fmt.Errorf("%w: header %d at height %d, want %d", errSyncFrame, i, height, h.Fork+1+uint64(i))
+		}
+		h.Headers = append(h.Headers, chain.LocatorEntry{Height: height, Hash: hash})
+	}
+	if err := r.done(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// encodeGetBatch serializes a block-range request [from, to].
+func encodeGetBatch(from, to uint64) []byte {
+	out := make([]byte, 0, 16)
+	out = putU64(out, from)
+	return putU64(out, to)
+}
+
+func decodeGetBatch(payload []byte) (from, to uint64, err error) {
+	r := &syncReader{b: payload}
+	from = r.uint64()
+	to = r.uint64()
+	if err := r.done(); err != nil {
+		return 0, 0, err
+	}
+	if from == 0 || to < from {
+		return 0, 0, fmt.Errorf("%w: batch range [%d, %d]", errSyncFrame, from, to)
+	}
+	return from, to, nil
+}
+
+// encodeBatch serializes one batch: starting index, count, then
+// length-prefixed encoded blocks.
+func encodeBatch(from uint64, blocks []*block.Block) []byte {
+	out := putU32(putU64(nil, from), uint32(len(blocks)))
+	for _, b := range blocks {
+		enc := b.Encode()
+		out = putU32(out, uint32(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+func decodeBatch(payload []byte) (syncBatch, error) {
+	var sb syncBatch
+	r := &syncReader{b: payload}
+	sb.From = r.uint64()
+	n := int(r.uint32())
+	if r.err == nil && n > maxSyncBatch {
+		return sb, fmt.Errorf("%w: batch of %d blocks exceeds cap %d", errSyncFrame, n, maxSyncBatch)
+	}
+	sb.Blocks = make([]*block.Block, 0, min(n, maxSyncBatch))
+	for i := 0; i < n; i++ {
+		size := int(r.uint32())
+		raw := r.take(size)
+		if r.err != nil {
+			break
+		}
+		b, err := block.Decode(raw)
+		if err != nil {
+			return sb, fmt.Errorf("livenode: batch block %d: %w", i, err)
+		}
+		if b.Index != sb.From+uint64(i) {
+			return sb, fmt.Errorf("%w: batch block %d has index %d, want %d", errSyncFrame, i, b.Index, sb.From+uint64(i))
+		}
+		sb.Blocks = append(sb.Blocks, b)
+	}
+	if err := r.done(); err != nil {
+		return sb, err
+	}
+	return sb, nil
+}
+
+// --- sync session -------------------------------------------------------------
+
+// syncSession is one in-flight incremental sync: created when a peer's
+// FrameSyncHeaders shows it is ahead, destroyed on completion, abort, or
+// retry exhaustion. At most one session exists per node; concurrent
+// triggers are absorbed by the running session.
+type syncSession struct {
+	gen      uint64 // guards against stale timer fires
+	peer     string
+	fork     uint64 // advances as catch-up batches are adopted
+	peerTip  uint64 // responder's advertised tip (may exceed the header range)
+	headers  []chain.LocatorEntry
+	suffix   []*block.Block // accumulated suffix (true-fork case only)
+	nextFrom uint64
+	attempts int
+	timer    Timer
+}
+
+// target is the last height this session can fetch (end of the header range).
+func (s *syncSession) target() uint64 { return s.headers[len(s.headers)-1].Height }
+
+// headerAt returns the advertised header for height h.
+func (s *syncSession) headerAt(h uint64) (chain.LocatorEntry, bool) {
+	base := s.headers[0].Height
+	if h < base || h-base >= uint64(len(s.headers)) {
+		return chain.LocatorEntry{}, false
+	}
+	return s.headers[h-base], true
+}
+
+// sendSyncLocator emits a locator probe to one peer ("" = broadcast) and
+// counts the round. Peers that are ahead answer with FrameSyncHeaders.
+func (n *Node) sendSyncLocator(peer string) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.tel.syncRounds.Inc()
+	payload := encodeLocator(n.eng.Chain().Locator())
+	n.mu.Unlock()
+	if peer == "" {
+		n.net.Broadcast(p2p.FrameSyncLocator, payload)
+	} else {
+		n.net.Send(peer, p2p.FrameSyncLocator, payload)
+	}
+}
+
+// clearSyncLocked tears the session down (n.mu held).
+func (n *Node) clearSyncLocked() {
+	if n.sync == nil {
+		return
+	}
+	if n.sync.timer != nil {
+		n.sync.timer.Stop()
+	}
+	n.sync = nil
+}
+
+// buildSyncHeadersLocked answers a peer's locator against our chain
+// (n.mu held). Returns nil when the locator shares nothing with us.
+func (n *Node) buildSyncHeadersLocked(loc []chain.LocatorEntry) []byte {
+	ch := n.eng.Chain()
+	fork, ok := ch.FindForkPoint(loc)
+	if !ok {
+		return nil // disjoint chains (different genesis): nothing to offer
+	}
+	to := ch.Height()
+	if to > fork+maxSyncHeaders {
+		to = fork + maxSyncHeaders
+	}
+	h := syncHeaders{Fork: fork, ForkHash: ch.At(fork).Hash, Tip: ch.Height()}
+	for _, b := range ch.Range(fork+1, to) {
+		h.Headers = append(h.Headers, chain.LocatorEntry{Height: b.Index, Hash: b.Hash})
+	}
+	return encodeSyncHeaders(h)
+}
+
+// handleSyncHeaders processes a FrameSyncHeaders answer; if it opens a
+// session, the first batch request is sent.
+func (n *Node) handleSyncHeaders(from string, h syncHeaders) {
+	n.mu.Lock()
+	if n.closed || n.sync != nil {
+		n.mu.Unlock()
+		return // a session is already draining; extra offers are absorbed
+	}
+	height := n.eng.Height()
+	if h.Tip <= height || len(h.Headers) == 0 {
+		n.mu.Unlock()
+		return // peer has nothing we lack
+	}
+	ours := n.eng.Chain().At(h.Fork)
+	if ours == nil || ours.Hash != h.ForkHash {
+		n.mu.Unlock()
+		return // peer disagrees about our own chain: ignore the offer
+	}
+	if h.Headers[len(h.Headers)-1].Height <= height {
+		// The peer is ahead but its bounded header range cannot reach past
+		// our tip (a fork deeper than maxSyncHeaders): incremental sync
+		// cannot win here, fall back to the whole-chain exchange.
+		n.tel.syncFallbacks.Inc()
+		n.tel.chainSyncs.Inc()
+		n.mu.Unlock()
+		n.net.Send(from, p2p.FrameChainRequest, nil)
+		return
+	}
+	n.syncGen++
+	n.sync = &syncSession{
+		gen:      n.syncGen,
+		peer:     from,
+		fork:     h.Fork,
+		peerTip:  h.Tip,
+		headers:  h.Headers,
+		nextFrom: h.Fork + 1,
+	}
+	req := n.requestBatchLocked()
+	n.mu.Unlock()
+	n.net.Send(from, p2p.FrameSyncGetBatch, req)
+}
+
+// requestBatchLocked builds the next batch request and arms the per-batch
+// timeout with exponential backoff (n.mu held, session present).
+func (n *Node) requestBatchLocked() []byte {
+	s := n.sync
+	from := s.nextFrom
+	to := s.target()
+	if to > from+uint64(n.cfg.SyncBatchSize)-1 {
+		to = from + uint64(n.cfg.SyncBatchSize) - 1
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	gen := s.gen
+	timeout := n.cfg.SyncTimeout << s.attempts
+	s.timer = n.clock.AfterFunc(timeout, func() { n.onSyncTimeout(gen) })
+	return encodeGetBatch(from, to)
+}
+
+// onSyncTimeout fires when a batch went unanswered: retry with backoff,
+// then give the peer up and fall back to the legacy whole-chain exchange.
+func (n *Node) onSyncTimeout(gen uint64) {
+	n.mu.Lock()
+	s := n.sync
+	if s == nil || s.gen != gen || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	s.attempts++
+	if s.attempts > n.cfg.SyncRetries {
+		peer := s.peer
+		n.clearSyncLocked()
+		n.tel.syncFallbacks.Inc()
+		n.tel.chainSyncs.Inc()
+		n.mu.Unlock()
+		n.net.Send(peer, p2p.FrameChainRequest, nil)
+		return
+	}
+	n.tel.syncRetries.Inc()
+	req := n.requestBatchLocked()
+	peer := s.peer
+	n.mu.Unlock()
+	n.net.Send(peer, p2p.FrameSyncGetBatch, req)
+}
+
+// handleSyncBatch ingests one FrameSyncBatch. Catch-up batches (fork at
+// our tip) are adopted immediately — verification and ledger application
+// of batch k overlap the network fetch of batch k+1 — while true-fork
+// suffixes accumulate until the full suffix is in hand.
+func (n *Node) handleSyncBatch(from string, sb syncBatch) {
+	n.mu.Lock()
+	s := n.sync
+	if s == nil || from != s.peer || sb.From != s.nextFrom || len(sb.Blocks) == 0 {
+		n.mu.Unlock()
+		return // stale, duplicate or foreign batch
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	// Every block must be exactly what the peer advertised in its header
+	// range; a mismatch means the peer switched chains mid-sync.
+	for _, b := range sb.Blocks {
+		hdr, ok := s.headerAt(b.Index)
+		if !ok || hdr.Hash != b.Hash {
+			n.abortSyncLocked("batch diverged from advertised headers")
+			n.mu.Unlock()
+			return
+		}
+	}
+	n.tel.syncBatches.Inc()
+	n.tel.syncBatchBlocks.Observe(int64(len(sb.Blocks)))
+	n.tel.syncBlocksFetched.Add(len(sb.Blocks))
+	batchBytes := 0
+	for _, b := range sb.Blocks {
+		batchBytes += b.EncodedSize()
+	}
+	n.tel.syncBytesFetched.Add(batchBytes)
+
+	if len(s.suffix) == 0 && s.fork == n.eng.Height() {
+		// Pure catch-up: adopt this batch right now.
+		if !n.adoptSyncSuffixLocked(sb.Blocks) {
+			n.mu.Unlock()
+			return
+		}
+		s.fork = n.eng.Height()
+	} else {
+		s.suffix = append(s.suffix, sb.Blocks...)
+	}
+
+	last := sb.From + uint64(len(sb.Blocks)) - 1
+	if last < s.target() {
+		s.nextFrom = last + 1
+		s.attempts = 0
+		req := n.requestBatchLocked()
+		peer := s.peer
+		n.mu.Unlock()
+		n.net.Send(peer, p2p.FrameSyncGetBatch, req)
+		return
+	}
+
+	// Header range exhausted: adopt any accumulated true-fork suffix.
+	if len(s.suffix) > 0 && !n.adoptSyncSuffixLocked(s.suffix) {
+		n.mu.Unlock()
+		return
+	}
+	peerTip, height := s.peerTip, n.eng.Height()
+	n.clearSyncLocked()
+	n.mu.Unlock()
+	if peerTip > height {
+		// The peer's tip lies beyond this round's header window: run
+		// another locator round to keep draining.
+		n.sendSyncLocator(from)
+	}
+}
+
+// abortSyncLocked drops the session without a fallback request; the next
+// incoming block re-triggers sync if the node is still behind (n.mu held).
+func (n *Node) abortSyncLocked(why string) {
+	n.tel.syncAborts.Inc()
+	n.tel.events.RecordAt(n.clock.Now(), "sync_abort", why)
+	n.clearSyncLocked()
+}
+
+// adoptSyncSuffixLocked runs a fetched suffix through the engine and, on
+// success, layers persistence, data fetches, telemetry and mining
+// rescheduling on top (n.mu held). On engine rejection the session is
+// aborted (the chain may simply have moved on) and false is returned.
+func (n *Node) adoptSyncSuffixLocked(suffix []*block.Block) bool {
+	oldHeight := n.eng.Height()
+	stats, ok := n.eng.AdoptSuffix(suffix)
+	if !ok {
+		n.abortSyncLocked(fmt.Sprintf("engine rejected suffix at fork %d", stats.ForkPoint))
+		return false
+	}
+	n.tel.blocksAdopted.Add(stats.Appended)
+	n.tel.syncBlocksReplayed.Add(stats.Replayed)
+	n.tel.syncVerifyParallel.Add(stats.ParallelVerified)
+	if stats.FullReplay {
+		n.tel.syncFullReplays.Inc()
+	}
+	// Bytes saved vs. the legacy whole-chain exchange: FrameChain would
+	// have shipped every block we already held.
+	saved := 0
+	for _, b := range n.eng.Chain().Blocks()[1:] {
+		saved += b.EncodedSize()
+	}
+	for _, b := range suffix {
+		saved -= b.EncodedSize()
+	}
+	if saved > 0 {
+		n.tel.syncBytesSaved.Add(saved)
+	}
+	n.updateChainGauges()
+	n.tel.events.RecordAt(n.clock.Now(), "sync_adopted",
+		fmt.Sprintf("fork %d, height %d -> %d (%d replayed)", stats.ForkPoint, oldHeight, n.eng.Height(), stats.Replayed))
+
+	if stats.ForkPoint == oldHeight {
+		// Tip extension: persist incrementally, like live adoption.
+		for _, b := range suffix {
+			n.noteStoreErrLocked(n.store.AppendBlock(b))
+			n.sinceCkpt++
+			if n.sinceCkpt >= n.cfg.CheckpointEvery {
+				n.sinceCkpt = 0
+				n.noteStoreErrLocked(n.store.Checkpoint(b.Index, b.Hash))
+				n.pruneExpiredLocked()
+			}
+		}
+	} else {
+		// True fork: the persisted chain below the old tip changed.
+		n.tel.forkAdoptions.Inc()
+		n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))
+	}
+	// Fetch data content this node is newly assigned to store — the same
+	// side effect onAppend applies to live blocks.
+	for _, b := range suffix {
+		for _, it := range b.Items {
+			for _, sn := range it.StoringNodes {
+				if sn == n.selfIdx && !n.store.HasData(it.ID) {
+					id := it.ID
+					n.clock.AfterFunc(0, func() { n.RequestData(id) })
+					break
+				}
+			}
+		}
+	}
+	n.scheduleMiningLocked()
+	return true
+}

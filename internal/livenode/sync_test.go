@@ -1,0 +1,614 @@
+package livenode
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/chain"
+	"repro/internal/meta"
+	"repro/internal/p2p"
+	"repro/internal/pos"
+	"repro/internal/telemetry"
+)
+
+// --- deterministic test fabric ------------------------------------------------
+
+// fakeClock is a manually advanced clock: timers fire only inside Advance,
+// in timestamp order, which makes every sync timeout path deterministic.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	c    *fakeClock
+	at   time.Time
+	fn   func()
+	done bool
+}
+
+func newFakeClock(start time.Time) *fakeClock { return &fakeClock{now: start} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) AfterFunc(d time.Duration, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Compact fired/stopped timers so long-lived clocks (fuzzing) stay flat.
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.done {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+	t := &fakeTimer{c: c, at: c.now.Add(d), fn: fn}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := !t.done
+	t.done = true
+	return was
+}
+
+func (c *fakeClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the clock forward, firing due timers in order.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if !t.done && !t.at.After(target) && (next == nil || t.at.Before(next.at)) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.done = true
+		if next.at.After(c.now) {
+			c.now = next.at
+		}
+		fn := next.fn
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// fakeNet is a zero-latency in-process transport fabric: Send delivers
+// synchronously into the receiving node's handler, and an optional drop
+// filter models lossy links for the timeout/retry paths.
+type fakeNet struct {
+	mu   sync.Mutex
+	eps  map[string]*fakeEP
+	drop func(from, to string, ft byte) bool
+
+	// Wire accounting (see startCounting): every delivered frame's payload
+	// size, for bytes-on-wire comparisons in benchmarks.
+	counting    bool
+	countBytes  int64
+	countFrames int64
+}
+
+type fakeEP struct {
+	net    *fakeNet
+	name   string
+	h      p2p.Handler
+	mu     sync.Mutex
+	peers  map[string]bool
+	closed bool
+}
+
+func newFakeNet() *fakeNet { return &fakeNet{eps: make(map[string]*fakeEP)} }
+
+// setDrop swaps the in-flight loss filter.
+func (f *fakeNet) setDrop(fn func(from, to string, ft byte) bool) {
+	f.mu.Lock()
+	f.drop = fn
+	f.mu.Unlock()
+}
+
+// startCounting zeroes and enables delivered-frame accounting.
+func (f *fakeNet) startCounting() {
+	f.mu.Lock()
+	f.counting, f.countBytes, f.countFrames = true, 0, 0
+	f.mu.Unlock()
+}
+
+// stopCounting disables accounting and reports (bytes, frames) delivered
+// since startCounting.
+func (f *fakeNet) stopCounting() (int64, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counting = false
+	return f.countBytes, f.countFrames
+}
+
+func (f *fakeNet) endpoint(name string, h p2p.Handler) *fakeEP {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep := &fakeEP{net: f, name: name, h: h, peers: make(map[string]bool)}
+	f.eps[name] = ep
+	return ep
+}
+
+func (e *fakeEP) Addr() string { return e.name }
+
+func (e *fakeEP) Connect(addr string) error {
+	e.net.mu.Lock()
+	peer, ok := e.net.eps[addr]
+	e.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fakeNet: no endpoint %q", addr)
+	}
+	e.mu.Lock()
+	e.peers[addr] = true
+	e.mu.Unlock()
+	peer.mu.Lock()
+	peer.peers[e.name] = true
+	peer.mu.Unlock()
+	return nil
+}
+
+func (e *fakeEP) Peers() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.peers))
+	for p := range e.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (e *fakeEP) Send(peerAddr string, ft byte, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("fakeNet: endpoint %q closed", e.name)
+	}
+	e.net.mu.Lock()
+	peer, ok := e.net.eps[peerAddr]
+	dropFn := e.net.drop
+	e.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fakeNet: no endpoint %q", peerAddr)
+	}
+	if dropFn != nil && dropFn(e.name, peerAddr, ft) {
+		return nil // lost in flight: sender sees success, like TCP
+	}
+	e.net.mu.Lock()
+	if e.net.counting {
+		e.net.countBytes += int64(len(payload))
+		e.net.countFrames++
+	}
+	e.net.mu.Unlock()
+	peer.h.HandleFrame(e.name, ft, payload)
+	return nil
+}
+
+func (e *fakeEP) Broadcast(ft byte, payload []byte) (delivered, failed int) {
+	for _, p := range e.Peers() {
+		if err := e.Send(p, ft, payload); err != nil {
+			failed++
+		} else {
+			delivered++
+		}
+	}
+	return delivered, failed
+}
+
+func (e *fakeEP) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return nil
+}
+
+// syncTestNode bundles one node on the fake fabric with its own clock and
+// telemetry registry.
+type syncTestNode struct {
+	*Node
+	clock *fakeClock
+	reg   *telemetry.Registry
+	epoch time.Time
+}
+
+func newSyncTestNode(t testing.TB, fn *fakeNet, name string, idx int, epoch time.Time, mutate func(cfg *Config)) *syncTestNode {
+	t.Helper()
+	idents, accounts := testRoster(3)
+	fc := newFakeClock(epoch)
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		Identity:    idents[idx],
+		Accounts:    accounts,
+		PoS:         pos.Params{M: pos.DefaultM, T0: 60 * time.Second},
+		GenesisSeed: 42,
+		Epoch:       epoch,
+		NewTransport: func(h p2p.Handler) (p2p.Transport, error) {
+			return fn.endpoint(name, h), nil
+		},
+		Clock:         fc,
+		Telemetry:     reg,
+		SyncBatchSize: 4,
+		SyncTimeout:   time.Second,
+		SyncRetries:   2,
+		SnapshotEvery: 2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return &syncTestNode{Node: n, clock: fc, reg: reg, epoch: epoch}
+}
+
+// mineBlocks drives the node's own engine through count winning rounds,
+// jumping its clock to each round's fire time.
+func (n *syncTestNode) mineBlocks(t testing.TB, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		n.mu.Lock()
+		r, ok := n.eng.NextRound()
+		n.mu.Unlock()
+		if !ok {
+			t.Fatal("node cannot mine")
+		}
+		fire := n.epoch.Add(r.FireAt())
+		if d := fire.Sub(n.clock.Now()); d > 0 {
+			n.clock.Advance(d)
+		}
+		n.mu.Lock()
+		res, err := n.eng.Mine(r)
+		if err != nil {
+			n.mu.Unlock()
+			t.Fatalf("mine: %v", err)
+		}
+		if res != nil {
+			n.scheduleMiningLocked()
+		}
+		n.mu.Unlock()
+		if res != nil {
+			n.net.Broadcast(p2p.FrameBlock, res.Block.Encode())
+		}
+	}
+}
+
+func counter(reg *telemetry.Registry, name string) uint64 {
+	return reg.Snapshot().Counter(name)
+}
+
+// --- incremental sync end-to-end ---------------------------------------------
+
+func TestSyncCatchUpBatched(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	b.mineBlocks(t, 10)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Height(), uint64(10); got != want {
+		t.Fatalf("height after sync = %d, want %d", got, want)
+	}
+	at, bt := a.Tip(), b.Tip()
+	if at.Hash != bt.Hash {
+		t.Fatal("tips diverge after sync")
+	}
+	if v := counter(a.reg, "livenode.sync.full_replays"); v != 0 {
+		t.Errorf("sync.full_replays = %d, want 0 (pure catch-up)", v)
+	}
+	if v := counter(a.reg, "livenode.sync.blocks_fetched"); v != 10 {
+		t.Errorf("sync.blocks_fetched = %d, want 10", v)
+	}
+	if v := counter(a.reg, "livenode.sync.batches"); v != 3 {
+		t.Errorf("sync.batches = %d, want 3 (batch size 4)", v)
+	}
+	if v := counter(a.reg, "livenode.chainsync.rounds"); v != 0 {
+		t.Errorf("chainsync.rounds = %d, want 0 (no legacy exchange)", v)
+	}
+	if a.StoreErr() != nil {
+		t.Fatalf("store error: %v", a.StoreErr())
+	}
+}
+
+func TestSyncForkSuffixFromSnapshot(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+
+	// Common prefix: A mines 4 (snapshots at 2 and 4), B follows along.
+	a.mineBlocks(t, 4)
+	for _, blk := range a.ChainSnapshot()[1:] {
+		b.handleFrame("a", p2p.FrameBlock, blk.Encode())
+	}
+	if b.Height() != 4 {
+		t.Fatalf("b at %d, want 4", b.Height())
+	}
+	// Diverge: A mines 1 on its branch, B mines 3 on its own.
+	a.mineBlocks(t, 1)
+	b.mineBlocks(t, 3)
+
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Height(), uint64(7); got != want {
+		t.Fatalf("height after fork sync = %d, want %d", got, want)
+	}
+	if a.Tip().Hash != b.Tip().Hash {
+		t.Fatal("tips diverge after fork sync")
+	}
+	if v := counter(a.reg, "livenode.sync.full_replays"); v != 0 {
+		t.Errorf("sync.full_replays = %d, want 0 (fork point at snapshot)", v)
+	}
+	if v := counter(a.reg, "livenode.fork.adoptions"); v != 1 {
+		t.Errorf("fork.adoptions = %d, want 1", v)
+	}
+	if v := counter(a.reg, "livenode.sync.blocks_fetched"); v != 3 {
+		t.Errorf("sync.blocks_fetched = %d, want 3 (suffix only)", v)
+	}
+	if v := counter(a.reg, "livenode.sync.bytes_saved"); v == 0 {
+		t.Error("sync.bytes_saved = 0, want > 0")
+	}
+	// The WAL was rewritten to the adopted branch: a restart from the same
+	// store must recover the synced chain, not the abandoned one.
+	if a.StoreErr() != nil {
+		t.Fatalf("store error: %v", a.StoreErr())
+	}
+}
+
+func TestSyncBatchTimeoutRetriesThenLegacyFallback(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	b.mineBlocks(t, 5)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+
+	// Batches vanish in flight; everything else is delivered.
+	fn.drop = func(from, to string, ft byte) bool { return ft == p2p.FrameSyncBatch }
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Height() != 0 {
+		t.Fatalf("height = %d before any retry, want 0", a.Height())
+	}
+	// Exponential backoff: 1s, then 2s, then the 4s attempt exhausts the
+	// retry budget and the node falls back to the whole-chain exchange.
+	a.clock.Advance(time.Second)
+	if v := counter(a.reg, "livenode.sync.retries"); v != 1 {
+		t.Fatalf("sync.retries = %d after first timeout, want 1", v)
+	}
+	a.clock.Advance(2 * time.Second)
+	if v := counter(a.reg, "livenode.sync.retries"); v != 2 {
+		t.Fatalf("sync.retries = %d after second timeout, want 2", v)
+	}
+	a.clock.Advance(4 * time.Second)
+	if v := counter(a.reg, "livenode.sync.fallbacks"); v != 1 {
+		t.Fatalf("sync.fallbacks = %d, want 1", v)
+	}
+	if a.Height() != 5 {
+		t.Fatalf("height after legacy fallback = %d, want 5", a.Height())
+	}
+	if v := counter(a.reg, "livenode.sync.full_replays"); v != 1 {
+		t.Errorf("sync.full_replays = %d, want 1 (legacy adoption)", v)
+	}
+	if v := counter(a.reg, "livenode.chainsync.rounds"); v != 1 {
+		t.Errorf("chainsync.rounds = %d, want 1", v)
+	}
+}
+
+func TestSyncBatchDivergingFromHeadersAborts(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	b.mineBlocks(t, 3)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+
+	// Forge an offer: real fork point, real tip height, but header hashes
+	// that do not match the blocks the "peer" will actually deliver.
+	genesis := a.ChainSnapshot()[0]
+	hdrs := syncHeaders{Fork: 0, ForkHash: genesis.Hash, Tip: 3}
+	for i := uint64(1); i <= 3; i++ {
+		hdrs.Headers = append(hdrs.Headers, chain.LocatorEntry{Height: i, Hash: block.Hash{byte(i)}})
+	}
+	a.handleFrame("evil", p2p.FrameSyncHeaders, encodeSyncHeaders(hdrs))
+	a.Node.mu.Lock()
+	if a.Node.sync == nil {
+		a.Node.mu.Unlock()
+		t.Fatal("offer did not open a session")
+	}
+	a.Node.mu.Unlock()
+
+	// Deliver structurally valid blocks whose hashes differ from the offer.
+	real := b.ChainSnapshot()[1:]
+	a.handleFrame("evil", p2p.FrameSyncBatch, encodeBatch(1, real))
+	if v := counter(a.reg, "livenode.sync.aborts"); v != 1 {
+		t.Fatalf("sync.aborts = %d, want 1", v)
+	}
+	a.Node.mu.Lock()
+	if a.Node.sync != nil {
+		a.Node.mu.Unlock()
+		t.Fatal("session survived a diverging batch")
+	}
+	a.Node.mu.Unlock()
+	if a.Height() != 0 {
+		t.Fatalf("height = %d, want 0 (nothing adopted)", a.Height())
+	}
+}
+
+func TestSyncResponderAnswersLocatorAndRange(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	b.mineBlocks(t, 6)
+
+	// An empty range request and an inverted one must be ignored without a
+	// response (and without panicking).
+	b.handleFrame("x", p2p.FrameSyncGetBatch, encodeGetBatch(100, 200))
+	b.handleFrame("x", p2p.FrameSyncGetBatch, []byte{1, 2, 3})
+
+	genesisHash := b.ChainSnapshot()[0].Hash
+	b.Node.mu.Lock()
+	resp := b.Node.buildSyncHeadersLocked([]chain.LocatorEntry{{Height: 0, Hash: genesisHash}})
+	b.Node.mu.Unlock()
+	h, err := decodeSyncHeaders(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fork != 0 || h.Tip != 6 || len(h.Headers) != 6 {
+		t.Fatalf("headers answer: fork %d tip %d len %d, want 0/6/6", h.Fork, h.Tip, len(h.Headers))
+	}
+	// A locator from a disjoint chain yields no offer.
+	b.Node.mu.Lock()
+	none := b.Node.buildSyncHeadersLocked([]chain.LocatorEntry{{Height: 0, Hash: block.Hash{0xff}}})
+	b.Node.mu.Unlock()
+	if none != nil {
+		t.Fatal("disjoint locator produced an offer")
+	}
+}
+
+// --- codec adversarial cases --------------------------------------------------
+
+func TestSyncCodecsRejectMalformedFrames(t *testing.T) {
+	goodLoc := encodeLocator([]chain.LocatorEntry{{Height: 5, Hash: block.Hash{1}}, {Height: 0, Hash: block.Hash{2}}})
+	if _, err := decodeLocator(goodLoc); err != nil {
+		t.Fatalf("round-trip locator: %v", err)
+	}
+	goodHdrs := encodeSyncHeaders(syncHeaders{Fork: 3, Tip: 6, Headers: []chain.LocatorEntry{{Height: 4}, {Height: 5}}})
+	if _, err := decodeSyncHeaders(goodHdrs); err != nil {
+		t.Fatalf("round-trip headers: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"locator truncated", func() error { _, err := decodeLocator(goodLoc[:len(goodLoc)-3]); return err }},
+		{"locator trailing bytes", func() error { _, err := decodeLocator(append(goodLoc, 0)); return err }},
+		{"locator empty count", func() error { _, err := decodeLocator(putU32(nil, 0)); return err }},
+		{"locator oversized count", func() error { _, err := decodeLocator(putU32(nil, 1<<30)); return err }},
+		{"locator ascending heights", func() error {
+			_, err := decodeLocator(encodeLocator([]chain.LocatorEntry{{Height: 1}, {Height: 5}}))
+			return err
+		}},
+		{"headers truncated", func() error { _, err := decodeSyncHeaders(goodHdrs[:10]); return err }},
+		{"headers oversized count", func() error {
+			p := putU64(nil, 0)
+			p = append(p, make([]byte, 32)...)
+			p = putU64(p, 10)
+			p = putU32(p, maxSyncHeaders+1)
+			_, err := decodeSyncHeaders(p)
+			return err
+		}},
+		{"headers gap after fork", func() error {
+			_, err := decodeSyncHeaders(encodeSyncHeaders(syncHeaders{Fork: 3, Tip: 9, Headers: []chain.LocatorEntry{{Height: 5}, {Height: 6}}}))
+			return err
+		}},
+		{"headers descending range", func() error {
+			_, err := decodeSyncHeaders(encodeSyncHeaders(syncHeaders{Fork: 3, Tip: 9, Headers: []chain.LocatorEntry{{Height: 5}, {Height: 4}}}))
+			return err
+		}},
+		{"headers overlapping range", func() error {
+			_, err := decodeSyncHeaders(encodeSyncHeaders(syncHeaders{Fork: 3, Tip: 9, Headers: []chain.LocatorEntry{{Height: 4}, {Height: 4}}}))
+			return err
+		}},
+		{"get-batch short", func() error { _, _, err := decodeGetBatch([]byte{1}); return err }},
+		{"get-batch inverted", func() error { _, _, err := decodeGetBatch(encodeGetBatch(9, 3)); return err }},
+		{"get-batch from genesis", func() error { _, _, err := decodeGetBatch(encodeGetBatch(0, 3)); return err }},
+		{"batch oversized count", func() error {
+			p := putU64(nil, 1)
+			p = putU32(p, maxSyncBatch+1)
+			_, err := decodeBatch(p)
+			return err
+		}},
+		{"batch truncated block", func() error {
+			p := putU64(nil, 1)
+			p = putU32(p, 1)
+			p = putU32(p, 1000)
+			p = append(p, 1, 2, 3)
+			_, err := decodeBatch(p)
+			return err
+		}},
+		{"batch garbage block", func() error {
+			p := putU64(nil, 1)
+			p = putU32(p, 1)
+			p = putU32(p, 4)
+			p = append(p, 1, 2, 3, 4)
+			_, err := decodeBatch(p)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		}
+	}
+}
+
+// --- fetchStart leak regression (ISSUE satellite) -----------------------------
+
+func TestRequestDataExpiryDropsLeakedEntries(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, func(cfg *Config) {
+		cfg.FetchTimeout = 10 * time.Second
+	})
+
+	// Fetches nobody can answer (no peers): before the fix these entries
+	// lived in fetchStart forever.
+	for i := 0; i < 5; i++ {
+		a.RequestData(meta.HashData([]byte(fmt.Sprintf("ghost %d", i))))
+	}
+	if got := a.pendingFetches(); got != 5 {
+		t.Fatalf("pending fetches = %d, want 5", got)
+	}
+	a.clock.Advance(9 * time.Second)
+	if got := a.pendingFetches(); got != 5 {
+		t.Fatalf("pending fetches = %d before timeout, want 5", got)
+	}
+	a.clock.Advance(2 * time.Second)
+	if got := a.pendingFetches(); got != 0 {
+		t.Fatalf("pending fetches = %d after timeout, want 0", got)
+	}
+	if v := counter(a.reg, "livenode.data.fetch_expired"); v != 5 {
+		t.Errorf("data.fetch_expired = %d, want 5", v)
+	}
+
+	// A fetch answered in time must not be double-counted by its stale
+	// expiry timer, and a re-request after completion starts fresh.
+	content := []byte("answered in time")
+	id := meta.HashData(content)
+	a.RequestData(id)
+	resp := append(append([]byte(nil), id[:]...), content...)
+	a.handleFrame("b", p2p.FrameData, resp)
+	if got := a.pendingFetches(); got != 0 {
+		t.Fatalf("pending fetches = %d after answer, want 0", got)
+	}
+	a.clock.Advance(time.Minute)
+	if v := counter(a.reg, "livenode.data.fetch_expired"); v != 5 {
+		t.Errorf("data.fetch_expired = %d after answered fetch, want still 5", v)
+	}
+}

@@ -50,6 +50,16 @@ const (
 	FrameDataRequest
 	// FrameData carries a 32-byte data ID followed by the content.
 	FrameData
+	// FrameSyncLocator carries a block locator (height/hash samples) and
+	// opens an incremental sync round (DESIGN.md §10).
+	FrameSyncLocator
+	// FrameSyncHeaders answers a locator: fork point, responder tip and a
+	// bounded header range of the missing suffix.
+	FrameSyncHeaders
+	// FrameSyncGetBatch requests one bounded block range [from, to].
+	FrameSyncGetBatch
+	// FrameSyncBatch carries the requested blocks of one batch.
+	FrameSyncBatch
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) against corrupt length

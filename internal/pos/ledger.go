@@ -165,6 +165,25 @@ func (l *Ledger) ApplyBlock(b *block.Block) error {
 	return nil
 }
 
+// Clone returns an independent deep copy of the ledger's mutable state.
+// The account roster (immutable after construction) is shared. Snapshots
+// for incremental fork adoption (engine.AdoptSuffix) are built from
+// clones so replaying a candidate suffix cannot corrupt the live ledger.
+func (l *Ledger) Clone() *Ledger {
+	cp := &Ledger{
+		accounts:     l.accounts,
+		byAccount:    l.byAccount,
+		mined:        append([]uint64(nil), l.mined...),
+		stored:       append([]uint64(nil), l.stored...),
+		rented:       append([]int64(nil), l.rented...),
+		applied:      l.applied,
+		RescaleEvery: l.RescaleEvery,
+		RescaleRatio: l.RescaleRatio,
+		scale:        l.scale,
+	}
+	return cp
+}
+
 // Rebuild replays a whole chain (excluding genesis) into a fresh state;
 // used when a node adopts a longer fork.
 func (l *Ledger) Rebuild(blocks []*block.Block) error {
