@@ -56,6 +56,9 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "ledger snapshot cadence in blocks, for incremental fork adoption (0 = default 32)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always|batch|none")
 		metricsAdr = flag.String("metrics-addr", "", "HTTP address serving /metrics (JSON) and /debug/vars (expvar); empty = disabled")
+		repairWrk  = flag.Int("repair-workers", 0, "concurrent background re-replication fetches (0 = repair disabled)")
+		repairRate = flag.Int("repair-rate", 0, "repair traffic budget in bytes/sec (0 = default 4096)")
+		repairHyst = flag.Duration("repair-hysteresis", 0, "extra silence before a suspect peer is declared dead (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -114,6 +117,10 @@ func main() {
 		SyncTimeout:   *syncTmo,
 		VerifyWorkers: *verifyWrk,
 		SnapshotEvery: *snapEvery,
+
+		RepairWorkers:    *repairWrk,
+		RepairRate:       *repairRate,
+		RepairHysteresis: *repairHyst,
 		OnBlock: func(b *block.Block) {
 			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
 		},

@@ -13,6 +13,7 @@ import (
 	"repro/internal/p2p"
 	"repro/internal/p2p/memnet"
 	"repro/internal/pos"
+	"repro/internal/repair"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -54,6 +55,20 @@ type Options struct {
 	Identities []*identity.Identity
 	// GenesisSeed overrides the fixed default genesis seed (0 = default).
 	GenesisSeed int64
+	// RepairWorkers enables the self-healing data plane on every node with
+	// that many concurrent fetches (0 = repair disabled, the default).
+	RepairWorkers int
+	// RepairRate caps repair traffic in bytes per virtual second (0 =
+	// livenode default).
+	RepairRate int
+	// RepairProbeEvery is the liveness-probe and repair-pump cadence (0 =
+	// livenode default).
+	RepairProbeEvery time.Duration
+	// RepairSuspectAfter is the silence before a peer turns suspect, and
+	// RepairHysteresis the additional silence before suspect turns dead (0
+	// = livenode defaults).
+	RepairSuspectAfter time.Duration
+	RepairHysteresis   time.Duration
 }
 
 // Cluster is N live nodes on one fault-injecting in-memory network and one
@@ -68,6 +83,11 @@ type Cluster struct {
 	idents   []*identity.Identity
 	accounts []identity.Address
 	nodes    []*livenode.Node // nil while crashed
+
+	// rng drives fault-side random choices (like picking churn victims),
+	// separately from the network's RNG so adding a kill does not perturb
+	// message-level fault decisions that came before it.
+	rng *rand.Rand
 
 	// Telemetry registries persist across Crash/Restart so counters
 	// accumulate over a node's whole lifetime, not one incarnation.
@@ -107,6 +127,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Epoch:  epoch,
 		Clock:  NewVClock(epoch),
 	}
+	c.rng = rand.New(rand.NewSource(opts.Seed*31 + 7))
 	c.Net = memnet.New(opts.Seed, c.Clock.Now)
 	c.Net.SetDefaults(opts.Faults)
 	c.netReg = telemetry.NewRegistry()
@@ -162,6 +183,12 @@ func (c *Cluster) startNode(i int) error {
 		SyncBatchSize:   c.opts.SyncBatchSize,
 		SnapshotEvery:   c.opts.SnapshotEvery,
 		Telemetry:       c.nodeRegs[i],
+
+		RepairWorkers:      c.opts.RepairWorkers,
+		RepairRate:         c.opts.RepairRate,
+		RepairProbeEvery:   c.opts.RepairProbeEvery,
+		RepairSuspectAfter: c.opts.RepairSuspectAfter,
+		RepairHysteresis:   c.opts.RepairHysteresis,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: start node %d: %w", i, err)
@@ -247,6 +274,79 @@ func (c *Cluster) Crash(i int) error {
 	}
 	c.nodes[i] = nil
 	return n.Kill()
+}
+
+// KillStoringNodes crashes roughly frac of the live nodes currently
+// assigned at least one unexpired item, with each candidate's chance of
+// being picked weighted by how many items it stores — churn hits the data
+// plane where it hurts most. Stored-item counts come from a provider index
+// rebuilt off the first live node's chain at the current virtual time, the
+// same chain-only derivation the repair subsystem itself uses. Nodes
+// listed in protect are never killed (keep producers up so content stays
+// re-fetchable). Victim choice draws on the cluster's fault RNG, so a
+// fixed seed always kills the same nodes. Returns the killed roster
+// indices, ascending.
+func (c *Cluster) KillStoringNodes(frac float64, protect ...int) ([]int, error) {
+	var ref *livenode.Node
+	for _, n := range c.nodes {
+		if n != nil {
+			ref = n
+			break
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("chaos: no live node to derive storing sets from")
+	}
+	idx := repair.NewIndex(c.opts.N)
+	idx.Rebuild(ref.ChainSnapshot())
+	idx.ExpireUntil(c.Clock.Now().Sub(c.Epoch))
+
+	shielded := make(map[int]bool, len(protect))
+	for _, p := range protect {
+		shielded[p] = true
+	}
+	type candidate struct{ node, weight int }
+	var cands []candidate
+	for i := 0; i < c.opts.N; i++ {
+		if c.nodes[i] == nil || shielded[i] {
+			continue
+		}
+		if w := len(idx.Items(i)); w > 0 {
+			cands = append(cands, candidate{node: i, weight: w})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("chaos: no live unprotected node stores anything")
+	}
+	kills := int(frac*float64(len(cands)) + 0.5)
+	if kills < 1 {
+		kills = 1
+	}
+	if kills > len(cands) {
+		kills = len(cands)
+	}
+
+	var killed []int
+	for k := 0; k < kills; k++ {
+		total := 0
+		for _, cd := range cands {
+			total += cd.weight
+		}
+		r := c.rng.Intn(total)
+		pick := 0
+		for r >= cands[pick].weight {
+			r -= cands[pick].weight
+			pick++
+		}
+		victim := cands[pick].node
+		cands = append(cands[:pick], cands[pick+1:]...)
+		if err := c.Crash(victim); err != nil {
+			return killed, err
+		}
+		killed = append(killed, victim)
+	}
+	sort.Ints(killed)
+	return killed, nil
 }
 
 // Restart brings a crashed node back (reopening its store if it has one)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/livenode"
 	"repro/internal/pos"
+	"repro/internal/repair"
 )
 
 // CheckConvergence verifies that every node holds the identical chain:
@@ -83,6 +84,53 @@ func CheckLedgerAccounting(n *livenode.Node, accounts []identity.Address, now ti
 		}
 		if want := refView.Used(i, now); gotUsed[i] != want {
 			return fmt.Errorf("chaos: storage view used_%d = %d, chain says %d", i, gotUsed[i], want)
+		}
+	}
+	return nil
+}
+
+// CheckReplication verifies the data plane has healed: from a provider
+// index rebuilt off the first live node's chain at the current virtual
+// time, every unexpired item must have at least min(floor, live-node
+// count) of its assigned providers among the live nodes, and every
+// assigned live provider must actually hold the item's bytes. Run it only
+// after the cluster has settled — mid-churn deficits are exactly what the
+// repair plane exists to close.
+func (c *Cluster) CheckReplication(floor int) error {
+	var ref *livenode.Node
+	live := 0
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		live++
+		if ref == nil {
+			ref = n
+		}
+	}
+	if ref == nil {
+		return nil
+	}
+	idx := repair.NewIndex(c.opts.N)
+	idx.Rebuild(ref.ChainSnapshot())
+	idx.ExpireUntil(c.Clock.Now().Sub(c.Epoch))
+	want := floor
+	if want > live {
+		want = live
+	}
+	for _, id := range idx.Live() {
+		alive := 0
+		for _, p := range idx.Providers(id) {
+			if c.nodes[p] == nil {
+				continue
+			}
+			alive++
+			if !c.nodes[p].HasData(id) {
+				return fmt.Errorf("chaos: node %d is assigned item %s but does not hold its bytes", p, id)
+			}
+		}
+		if alive < want {
+			return fmt.Errorf("chaos: item %s has %d live replicas, want >= %d", id, alive, want)
 		}
 	}
 	return nil

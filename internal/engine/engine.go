@@ -78,7 +78,28 @@ type MineResult struct {
 	// Migrations counts the data-migration re-announcements packed into
 	// the block (Section VII).
 	Migrations int
+	// Repairs counts the repair re-announcements packed into the block:
+	// under-replicated items re-placed away from dead providers.
+	Repairs int
 }
+
+// Liveness is a churn verdict for one roster node, as reported by the
+// adapter's churn detector (internal/repair). The engine uses it to keep
+// placements off failing nodes and to re-replicate items whose providers
+// died; with no Liveness callback every node counts alive.
+type Liveness int
+
+const (
+	// LiveAlive nodes are normal placement targets.
+	LiveAlive Liveness = iota
+	// LiveSuspect nodes receive no new placements, but their existing
+	// replicas still count (hysteresis: no repair storm on a transient
+	// partition).
+	LiveSuspect
+	// LiveDead nodes' replicas count as lost: items under their replica
+	// floor because of them are repair candidates.
+	LiveDead
+)
 
 // Config wires an Engine to its host node.
 type Config struct {
@@ -144,6 +165,13 @@ type Config struct {
 	MigrateMaxPerBlock int
 	MigrateCostRatio   float64
 
+	// Liveness, when set, reports each roster node's churn status (from
+	// the adapter's repair.Detector). nil = every node alive.
+	Liveness func(i int) Liveness
+	// RepairMaxPerBlock bounds repair re-announcements per mined block
+	// (0 = repair packing off).
+	RepairMaxPerBlock int
+
 	// CustomRound overrides the PoS round computation (the PoW baseline
 	// derives exponential solve times from the same hit).
 	CustomRound func(prev *block.Block) (t uint64, b float64)
@@ -162,8 +190,10 @@ type Engine struct {
 	pool      map[meta.DataID]*meta.Item
 	inChain   map[meta.DataID]bool
 	liveItems map[meta.DataID]*meta.Item
-	// migrateCursor round-robins migration checks across live items.
+	// migrateCursor and repairCursor round-robin migration and repair
+	// checks across live items.
 	migrateCursor int
+	repairCursor  int
 	// snaps holds the periodic state snapshots AdoptSuffix adopts from
 	// (ascending height, at most snapshotKeep entries).
 	snaps []snapshot
@@ -463,6 +493,9 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 	// while the live topology wobbles.
 	topo := e.cfg.Topology()
 
+	// announced collects every ID packed into this block so migration and
+	// repair never re-announce an item the block already carries.
+	announced := make(map[meta.DataID]bool)
 	for _, it := range e.poolItems(now) {
 		storing := e.placeItem(topo, states)
 		if len(storing) == 0 {
@@ -471,6 +504,7 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 		packed := it.Clone()
 		packed.StoringNodes = storing
 		bld.AddItem(packed)
+		announced[packed.ID] = true
 		for _, sn := range storing {
 			states[sn].Used++
 		}
@@ -498,7 +532,19 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 	migrated := e.pickMigrations(topo, states, now)
 	for _, m := range migrated {
 		bld.AddItem(m)
+		announced[m.ID] = true
 		for _, sn := range m.StoringNodes {
+			states[sn].Used++
+		}
+	}
+
+	// Repair (self-healing data plane): re-announce under-replicated items
+	// whose providers the churn detector marked dead, placing replacement
+	// replicas on alive nodes only.
+	repaired := e.pickRepairs(topo, states, now, announced)
+	for _, r := range repaired {
+		bld.AddItem(r)
+		for _, sn := range r.StoringNodes {
 			states[sn].Used++
 		}
 	}
@@ -507,7 +553,122 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 	if _, err := e.ch.Add(blk); err != nil {
 		return nil, fmt.Errorf("engine: own block rejected: %w", err)
 	}
-	return &MineResult{Block: blk, Migrations: len(migrated)}, nil
+	return &MineResult{Block: blk, Migrations: len(migrated), Repairs: len(repaired)}, nil
+}
+
+// nodeLiveness returns the adapter's churn verdict for node i (alive when
+// no detector is wired).
+func (e *Engine) nodeLiveness(i int) Liveness {
+	if e.cfg.Liveness == nil || i < 0 || i >= len(e.cfg.Accounts) {
+		return LiveAlive
+	}
+	return e.cfg.Liveness(i)
+}
+
+// sortedLiveIDs returns the live-item IDs in deterministic order.
+func (e *Engine) sortedLiveIDs() []meta.DataID {
+	ids := make([]meta.DataID, 0, len(e.liveItems))
+	for id := range e.liveItems {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && lessID(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// pickRepairs selects up to RepairMaxPerBlock live items that have fallen
+// under their replica floor because providers died, and returns
+// re-announced clones whose storing set is the surviving providers plus
+// UFL-chosen alive nodes. Suspect nodes keep their replicas counted
+// (hysteresis) but receive no new ones. The cursor round-robins across
+// items so every item is eventually reconsidered.
+func (e *Engine) pickRepairs(topo *netsim.Topology, states []alloc.NodeState, now time.Duration, skip map[meta.DataID]bool) []*meta.Item {
+	maxPer := e.cfg.RepairMaxPerBlock
+	if maxPer <= 0 || e.cfg.Liveness == nil || len(e.liveItems) == 0 {
+		return nil
+	}
+	// Evaluate every verdict once per block; dead AND suspect nodes are
+	// masked out of placement by presenting them as full.
+	verdicts := make([]Liveness, len(states))
+	masked := make([]alloc.NodeState, len(states))
+	alive := 0
+	for i := range states {
+		verdicts[i] = e.nodeLiveness(i)
+		masked[i] = states[i]
+		if verdicts[i] == LiveAlive {
+			alive++
+		} else {
+			masked[i].Used = masked[i].Capacity
+		}
+	}
+	if alive == 0 {
+		return nil
+	}
+	wantFloor := e.cfg.Planner.MinReplicas
+	if wantFloor > alive {
+		wantFloor = alive
+	}
+	ids := e.sortedLiveIDs()
+	var out []*meta.Item
+	budget := 4 * maxPer // deficiency-evaluation budget per block
+	for k := 0; k < len(ids) && budget > 0 && len(out) < maxPer; k++ {
+		it := e.liveItems[ids[(e.repairCursor+k)%len(ids)]]
+		if skip[it.ID] || it.Expired(now) || len(it.StoringNodes) == 0 {
+			continue
+		}
+		survivors := make([]int, 0, len(it.StoringNodes))
+		for _, sn := range it.StoringNodes {
+			if sn >= 0 && sn < len(states) && verdicts[sn] != LiveDead {
+				survivors = append(survivors, sn)
+			}
+		}
+		if len(survivors) >= wantFloor {
+			continue // at or above floor counting not-dead providers
+		}
+		budget--
+		pl, err := e.cfg.Planner.Place(topo, masked)
+		if err != nil {
+			continue
+		}
+		newSet := append([]int(nil), survivors...)
+		inSet := make(map[int]bool, wantFloor)
+		for _, sn := range newSet {
+			inSet[sn] = true
+		}
+		for _, sn := range pl.StoringNodes {
+			if len(newSet) >= wantFloor {
+				break
+			}
+			if !inSet[sn] && verdicts[sn] == LiveAlive {
+				inSet[sn] = true
+				newSet = append(newSet, sn)
+			}
+		}
+		if len(newSet) <= len(survivors) || sameSet(newSet, it.StoringNodes) {
+			continue // placement added nothing: re-announcing buys no replica
+		}
+		repairedItem := it.Clone()
+		repairedItem.StoringNodes = sortedCopy(newSet)
+		out = append(out, repairedItem)
+		for _, sn := range repairedItem.StoringNodes {
+			masked[sn].Used++ // later repairs in this block see the load
+		}
+	}
+	e.repairCursor += 4 * maxPer
+	return out
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // placeItem chooses storing nodes for one data item under the configured
@@ -566,10 +727,34 @@ func (e *Engine) pickMigrations(topo *netsim.Topology, states []alloc.NodeState,
 		if it.Expired(now) || len(it.StoringNodes) == 0 {
 			continue
 		}
+		// Churn guard: items with a dead provider are the repair path's
+		// responsibility, not a cost-drift migration.
+		deadProvider := false
+		for _, sn := range it.StoringNodes {
+			if e.nodeLiveness(sn) == LiveDead {
+				deadProvider = true
+				break
+			}
+		}
+		if deadProvider {
+			continue
+		}
 		budget--
 		in := e.cfg.Planner.BuildInstance(topo, states)
 		pl, err := e.cfg.Planner.Place(topo, states)
 		if err != nil || len(pl.StoringNodes) == 0 {
+			continue
+		}
+		// Churn guard: never migrate ONTO a suspect or dead node — a
+		// cheaper-looking placement that immediately needs repair is a loss.
+		targetsAlive := true
+		for _, sn := range pl.StoringNodes {
+			if e.nodeLiveness(sn) != LiveAlive {
+				targetsAlive = false
+				break
+			}
+		}
+		if !targetsAlive {
 			continue
 		}
 		cur := SetCost(in, it.StoringNodes)

@@ -94,6 +94,30 @@ type Config struct {
 	// Without it, fetches no peer can answer would pin their tracking
 	// entry forever.
 	FetchTimeout time.Duration
+
+	// RepairWorkers enables the self-healing data plane (DESIGN.md §11)
+	// and bounds its concurrent targeted fetches; 0 disables repair
+	// entirely (no provider index, churn detector or heartbeats).
+	RepairWorkers int
+	// RepairRate is the repair plane's token-bucket byte budget in bytes
+	// per second (default 4096); it keeps background re-replication
+	// traffic strictly below consensus traffic.
+	RepairRate int
+	// RepairProbeEvery is the repair tick cadence: heartbeat broadcast,
+	// membership sweep and queue pump (default 2s).
+	RepairProbeEvery time.Duration
+	// RepairSuspectAfter is the silence after which a roster node turns
+	// suspect (default 6s); RepairHysteresis is the ADDITIONAL silence
+	// before a suspect counts dead and triggers re-replication
+	// (default 10s).
+	RepairSuspectAfter time.Duration
+	RepairHysteresis   time.Duration
+	// RepairMaxPerBlock bounds repair re-announcements packed per mined
+	// block (default 4 when repair is enabled).
+	RepairMaxPerBlock int
+	// RepairReplicaFloor is the replica count the under-replication gauge
+	// checks items against (default alloc.DefaultMinReplicas).
+	RepairReplicaFloor int
 	// OnBlock, if set, is called after each adopted block (any goroutine).
 	OnBlock func(b *block.Block)
 	// OnData, if set, is called when requested data content arrives.
@@ -127,6 +151,7 @@ type Node struct {
 	fetchStart map[meta.DataID]time.Time // pending data fetches, for latency
 	sync       *syncSession              // at most one incremental sync in flight
 	syncGen    uint64                    // session generation, guards stale timers
+	repair     *repairDriver             // nil when repair is disabled
 
 	tel *nodeMetrics
 }
@@ -155,6 +180,22 @@ type nodeMetrics struct {
 	syncBytesSaved     *telemetry.Counter   // bytes a whole-chain exchange would have added
 	syncVerifyParallel *telemetry.Counter   // blocks verified by the worker pool
 	syncBatchBlocks    *telemetry.Histogram // blocks per accepted batch
+
+	// Self-healing data plane (DESIGN.md §11).
+	repairEnqueued    *telemetry.Counter   // re-announced assignments routed to the queue
+	repairFetches     *telemetry.Counter   // targeted FrameRepairGet sends
+	repairCompleted   *telemetry.Counter   // queue tasks finished by a repair response
+	repairFallbacks   *telemetry.Counter   // tasks handed to the broadcast fetch path
+	repairThrottled   *telemetry.Counter   // sends denied by the byte-rate budget
+	repairReannounced *telemetry.Counter   // repair re-announcements packed into own blocks
+	repairFetchNs     *telemetry.Histogram // targeted-fetch latency
+	underReplicated   *telemetry.Gauge     // live items below the replica floor
+	deadNodes         *telemetry.Gauge     // roster nodes the detector counts dead
+
+	// Wire-byte split, counted at the sender across all app frames.
+	wireConsensusBytes *telemetry.Counter
+	wireDataBytes      *telemetry.Counter
+	wireRepairBytes    *telemetry.Counter
 
 	dataFetchExpired *telemetry.Counter // pending fetches dropped by FetchTimeout
 	height           *telemetry.Gauge
@@ -189,6 +230,20 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		syncBatchBlocks:    reg.Histogram("livenode.sync.batch_blocks"),
 
 		dataFetchExpired: reg.Counter("livenode.data.fetch_expired"),
+
+		repairEnqueued:    reg.Counter("livenode.repair.enqueued"),
+		repairFetches:     reg.Counter("livenode.repair.fetches"),
+		repairCompleted:   reg.Counter("livenode.repair.completed"),
+		repairFallbacks:   reg.Counter("livenode.repair.fallbacks"),
+		repairThrottled:   reg.Counter("livenode.repair.throttled"),
+		repairReannounced: reg.Counter("livenode.repair.reannounced"),
+		repairFetchNs:     reg.Histogram("livenode.repair.fetch_ns"),
+		underReplicated:   reg.Gauge("livenode.repair.under_replicated"),
+		deadNodes:         reg.Gauge("livenode.repair.dead_nodes"),
+
+		wireConsensusBytes: reg.Counter("livenode.wire.consensus_bytes"),
+		wireDataBytes:      reg.Counter("livenode.wire.data_bytes"),
+		wireRepairBytes:    reg.Counter("livenode.wire.repair_bytes"),
 	}
 	if reg != nil {
 		m.sGauges = make([]*telemetry.Gauge, rosterN)
@@ -252,6 +307,26 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = WallClock()
 	}
+	if cfg.RepairWorkers > 0 {
+		if cfg.RepairRate <= 0 {
+			cfg.RepairRate = defaultRepairRate
+		}
+		if cfg.RepairProbeEvery <= 0 {
+			cfg.RepairProbeEvery = defaultRepairProbeEvery
+		}
+		if cfg.RepairSuspectAfter <= 0 {
+			cfg.RepairSuspectAfter = defaultRepairSuspect
+		}
+		if cfg.RepairHysteresis <= 0 {
+			cfg.RepairHysteresis = defaultRepairHysteresis
+		}
+		if cfg.RepairMaxPerBlock <= 0 {
+			cfg.RepairMaxPerBlock = defaultRepairMaxPacked
+		}
+		if cfg.RepairReplicaFloor <= 0 {
+			cfg.RepairReplicaFloor = alloc.DefaultMinReplicas
+		}
+	}
 	if cfg.NewTransport == nil {
 		cfg.NewTransport = func(h p2p.Handler) (p2p.Transport, error) {
 			return p2p.Listen(cfg.ListenAddr, h)
@@ -276,6 +351,16 @@ func New(cfg Config) (*Node, error) {
 		tel:        newNodeMetrics(cfg.Telemetry, len(cfg.Accounts)),
 	}
 
+	// The repair driver must exist before the engine: the engine's
+	// Liveness callback reads its churn detector during Mine.
+	n.repair = n.initRepair()
+	var liveness func(int) engine.Liveness
+	repairMax := 0
+	if n.repair != nil {
+		liveness = n.livenessFor
+		repairMax = cfg.RepairMaxPerBlock
+	}
+
 	// Clique topology: every pair 1 hop (full TCP mesh).
 	positions := make([]geo.Point, len(cfg.Accounts))
 	topo := netsim.NewTopology(positions, 1, nil)
@@ -295,6 +380,8 @@ func New(cfg Config) (*Node, error) {
 		InitialRecentDepth: 1,
 		SnapshotInterval:   cfg.SnapshotEvery,
 		VerifyWorkers:      cfg.VerifyWorkers,
+		Liveness:           liveness,
+		RepairMaxPerBlock:  repairMax,
 		OnAppend:           n.onAppend,
 	})
 	if err != nil {
@@ -320,6 +407,7 @@ func New(cfg Config) (*Node, error) {
 
 	n.mu.Lock()
 	n.scheduleMiningLocked()
+	n.scheduleRepairLocked()
 	n.mu.Unlock()
 	return n, nil
 }
@@ -338,6 +426,17 @@ func (n *Node) Connect(addrs ...string) error {
 	}
 	// Small grace for the handshake, then sync.
 	n.clock.Sleep(50 * time.Millisecond)
+	n.mu.Lock()
+	var announce []byte
+	if n.repair != nil {
+		announce = n.repair.announce
+	}
+	n.mu.Unlock()
+	if announce != nil {
+		// Bind our roster index to our address on every new peer right
+		// away, rather than waiting out a probe period.
+		n.bcast(p2p.FrameRepairAnnounce, announce)
+	}
 	n.sendSyncLocator("")
 	return nil
 }
@@ -404,6 +503,9 @@ func (n *Node) Close() error {
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
 	}
+	if n.repair != nil && n.repair.timer != nil {
+		n.repair.timer.Stop()
+	}
 	n.clearSyncLocked()
 	tip := n.eng.Tip()
 	n.mu.Unlock()
@@ -425,6 +527,9 @@ func (n *Node) Kill() error {
 	n.closed = true
 	if n.mineTimer != nil {
 		n.mineTimer.Stop()
+	}
+	if n.repair != nil && n.repair.timer != nil {
+		n.repair.timer.Stop()
 	}
 	n.clearSyncLocked()
 	n.mu.Unlock()
@@ -492,7 +597,7 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 	n.mu.Lock()
 	n.eng.AddLocal(it)
 	n.mu.Unlock()
-	n.net.Broadcast(p2p.FrameMeta, it.Encode())
+	n.bcast(p2p.FrameMeta, it.Encode())
 	return it, nil
 }
 
@@ -509,7 +614,7 @@ func (n *Node) RequestData(id meta.DataID) {
 		n.clock.AfterFunc(n.cfg.FetchTimeout, func() { n.expireFetch(id, start) })
 	}
 	n.mu.Unlock()
-	n.net.Broadcast(p2p.FrameDataRequest, id[:])
+	n.bcast(p2p.FrameDataRequest, id[:])
 }
 
 // expireFetch drops a pending-fetch entry that was never answered. The

@@ -50,16 +50,39 @@ func (n *Node) onAppend(ev engine.AppendEvent) {
 			n.pruneExpiredLocked()
 		}
 	}
+	// Feed the repair plane: the provider index tracks every announcement
+	// (including during WAL replay — the index must mirror the chain), and
+	// the miner of a live block is liveness evidence as of its timestamp.
+	if rd := n.repair; rd != nil {
+		for _, ie := range ev.Items {
+			rd.idx.Apply(ie.Item)
+		}
+		if !n.replaying {
+			if mi, ok := rd.minerIdx[b.Miner]; ok {
+				rd.det.Seen(mi, b.Timestamp)
+			}
+		}
+	}
 	for _, ie := range ev.Items {
 		if n.replaying {
 			continue // no networking during WAL replay
 		}
 		// If assigned to store and lacking content, fetch it. Scheduled
 		// through the clock (not a bare goroutine) so virtual-clock runs
-		// issue the request at a deterministic point.
+		// issue the request at a deterministic point. Re-announcements
+		// (repair or migration) have known providers, so their fetches go
+		// through the targeted, rate-limited repair queue; first
+		// announcements keep the legacy broadcast fetch (only the producer
+		// has the content, and it answers FrameDataRequest).
 		if ie.AssignedToSelf && !n.store.HasData(ie.Item.ID) {
 			id := ie.Item.ID
-			n.clock.AfterFunc(0, func() { n.RequestData(id) })
+			if n.repair != nil && ie.Prev != nil {
+				if n.repair.queue.Add(id, n.now()) {
+					n.tel.repairEnqueued.Inc()
+				}
+			} else {
+				n.clock.AfterFunc(0, func() { n.RequestData(id) })
+			}
 		}
 	}
 	if cb := n.cfg.OnBlock; cb != nil && !n.replaying {
@@ -148,16 +171,28 @@ func (n *Node) mine(r engine.Round) {
 	}
 	blk := res.Block
 	n.tel.blocksWon.Inc()
+	n.tel.repairReannounced.Add(res.Repairs)
 	n.tel.events.RecordAt(n.clock.Now(), "block_won", fmt.Sprintf("height %d, %d items", blk.Index, len(blk.Items)))
 	n.scheduleMiningLocked()
 	n.mu.Unlock()
-	n.net.Broadcast(p2p.FrameBlock, blk.Encode())
+	n.bcast(p2p.FrameBlock, blk.Encode())
 }
 
 // --- frame handling -----------------------------------------------------------
 
 func (n *Node) handleFrame(from string, ft byte, payload []byte) {
+	// Any frame from a mapped address is passive liveness evidence.
+	n.noteFrameFrom(from)
 	switch ft {
+	case p2p.FrameRepairAnnounce:
+		n.handleRepairAnnounce(from, payload)
+
+	case p2p.FrameRepairGet:
+		n.handleRepairGet(from, payload)
+
+	case p2p.FrameRepairData:
+		n.handleRepairData(payload)
+
 	case p2p.FrameMeta:
 		it, err := meta.Decode(payload)
 		if err != nil {
@@ -190,7 +225,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		n.mu.Lock()
 		payload := encodeChain(n.eng.Chain().Blocks())
 		n.mu.Unlock()
-		n.net.Send(from, p2p.FrameChain, payload)
+		n.send(from, p2p.FrameChain, payload)
 
 	case p2p.FrameChain:
 		blocks, err := decodeChain(payload)
@@ -208,7 +243,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		resp := n.buildSyncHeadersLocked(loc)
 		n.mu.Unlock()
 		if resp != nil {
-			n.net.Send(from, p2p.FrameSyncHeaders, resp)
+			n.send(from, p2p.FrameSyncHeaders, resp)
 		}
 
 	case p2p.FrameSyncHeaders:
@@ -232,7 +267,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		if len(blocks) == 0 {
 			return // nothing in range (requester will time out and retry)
 		}
-		n.net.Send(from, p2p.FrameSyncBatch, encodeBatch(first, blocks))
+		n.send(from, p2p.FrameSyncBatch, encodeBatch(first, blocks))
 
 	case p2p.FrameSyncBatch:
 		sb, err := decodeBatch(payload)
@@ -252,7 +287,7 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			resp := make([]byte, len(id)+len(content))
 			copy(resp, id[:])
 			copy(resp[len(id):], content)
-			n.net.Send(from, p2p.FrameData, resp)
+			n.send(from, p2p.FrameData, resp)
 		}
 
 	case p2p.FrameData:
@@ -279,6 +314,11 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			n.tel.dataFetchNs.Observe(int64(n.clock.Now().Sub(start)))
 			delete(n.fetchStart, id)
 		}
+		if rd := n.repair; rd != nil {
+			// The content arrived by the broadcast path; a queued repair
+			// task for it is complete.
+			rd.queue.Done(id, n.now())
+		}
 		n.mu.Unlock()
 		if !dup && cb != nil {
 			cb(id, content)
@@ -303,6 +343,12 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 	n.tel.events.RecordAt(n.clock.Now(), "fork_adopted",
 		fmt.Sprintf("height %d -> %d", oldHeight, n.eng.Height()))
 	n.updateChainGauges()
+	// Fork adoption runs no OnAppend hooks: rebuild the repair plane's
+	// provider index from the adopted chain (bit-identical to the
+	// incremental feed by construction — see the differential test).
+	if rd := n.repair; rd != nil {
+		rd.idx.Rebuild(n.eng.Chain().Blocks())
+	}
 	// The persisted chain was replaced wholesale; rewrite the WAL to
 	// match (genesis is never persisted).
 	n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))

@@ -1,0 +1,403 @@
+package livenode
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/p2p"
+	"repro/internal/repair"
+)
+
+// Self-healing data plane (DESIGN.md §11). The repair driver glues the
+// three pure components of internal/repair to the node's I/O:
+//
+//	chain (OnAppend / sync / fork adoption)
+//	   └─▶ repair.Index     — who should hold what, derived from metadata
+//	transport (announces, any frame, membership, mined blocks)
+//	   └─▶ repair.Detector  — who is alive / suspect / dead
+//	repairTick (every RepairProbeEvery)
+//	   └─▶ repair.Queue + repair.Limiter — which replica to re-fetch next,
+//	        bounded by workers and a byte-rate budget
+//
+// The engine side closes the loop: its Liveness callback reads the
+// detector, so mined blocks re-announce under-replicated items onto alive
+// nodes (engine.pickRepairs), and the re-announcement routes the newly
+// assigned nodes' fetches through the queue below.
+//
+// Liveness evidence is deliberately cheap: a 4-byte unsigned announce
+// heartbeat, passive refresh on every frame from a mapped address, a
+// membership sweep against the transport's peer list, and the miner of
+// every adopted block (at the block's timestamp). The announce is
+// unsigned — a forged binding cannot inject data (content is verified
+// against its hash) and self-corrects: fetches from a wrong address fail
+// verification or time out, back off, and finally fall back to the
+// broadcast fetch path.
+const (
+	// repairFrameOverhead approximates the fixed wire cost of one repair
+	// frame (length prefix, type byte, data ID) for rate-limiting.
+	repairFrameOverhead = 32
+
+	defaultRepairRate       = 4096 // bytes/second
+	defaultRepairProbeEvery = 2 * time.Second
+	defaultRepairSuspect    = 6 * time.Second
+	defaultRepairHysteresis = 10 * time.Second
+	defaultRepairMaxPacked  = 4
+)
+
+// repairDriver is the per-node repair state; nil when repair is disabled
+// (Config.RepairWorkers == 0). All fields are guarded by Node.mu.
+type repairDriver struct {
+	idx   *repair.Index
+	det   *repair.Detector
+	queue *repair.Queue
+	lim   *repair.Limiter
+
+	// addrIdx maps transport addresses to roster indices (learned from
+	// announces); minerIdx maps account addresses, for block-based liveness.
+	addrIdx  map[string]int
+	minerIdx map[[32]byte]int
+
+	announce   []byte // this node's encoded heartbeat
+	probeEvery time.Duration
+	floor      int // replica floor the under-replication gauge checks
+	timer      Timer
+}
+
+// initRepair builds the repair driver (called from New before engine.New so
+// the engine's Liveness callback can read the detector). Returns nil when
+// repair is disabled.
+func (n *Node) initRepair() *repairDriver {
+	if n.cfg.RepairWorkers <= 0 {
+		return nil
+	}
+	now := n.now()
+	rd := &repairDriver{
+		idx: repair.NewIndex(len(n.cfg.Accounts)),
+		det: repair.NewDetector(repair.DetectorConfig{
+			N:            len(n.cfg.Accounts),
+			Self:         n.selfIdx,
+			SuspectAfter: n.cfg.RepairSuspectAfter,
+			Hysteresis:   n.cfg.RepairHysteresis,
+		}, now),
+		queue: repair.NewQueue(repair.QueueConfig{
+			Workers: n.cfg.RepairWorkers,
+			Timeout: n.cfg.RepairProbeEvery * 4,
+			Backoff: n.cfg.RepairProbeEvery,
+		}),
+		lim:        repair.NewLimiter(n.cfg.RepairRate, 0, now),
+		addrIdx:    make(map[string]int),
+		minerIdx:   make(map[[32]byte]int, len(n.cfg.Accounts)),
+		announce:   binary.BigEndian.AppendUint32(nil, uint32(n.selfIdx)),
+		probeEvery: n.cfg.RepairProbeEvery,
+		floor:      n.cfg.RepairReplicaFloor,
+	}
+	for i, a := range n.cfg.Accounts {
+		rd.minerIdx[a] = i
+	}
+	return rd
+}
+
+// livenessFor adapts the detector's verdicts to the engine's Liveness
+// levels (called by the engine under n.mu during Mine).
+func (n *Node) livenessFor(i int) engine.Liveness {
+	switch n.repair.det.Status(i, n.now()) {
+	case repair.Dead:
+		return engine.LiveDead
+	case repair.Suspect:
+		return engine.LiveSuspect
+	default:
+		return engine.LiveAlive
+	}
+}
+
+// scheduleRepairLocked arms the periodic repair tick (n.mu held).
+func (n *Node) scheduleRepairLocked() {
+	rd := n.repair
+	if rd == nil || n.closed {
+		return
+	}
+	if rd.timer != nil {
+		rd.timer.Stop()
+	}
+	rd.timer = n.clock.AfterFunc(rd.probeEvery, n.repairTick)
+}
+
+// noteFrameFrom refreshes passive liveness for any frame from a mapped
+// transport address (called at the top of handleFrame, before n.mu is
+// taken by the per-frame logic).
+func (n *Node) noteFrameFrom(from string) {
+	n.mu.Lock()
+	if rd := n.repair; rd != nil {
+		if i, ok := rd.addrIdx[from]; ok {
+			rd.det.Seen(i, n.now())
+		}
+	}
+	n.mu.Unlock()
+}
+
+// repairTick is the repair plane's heartbeat: it broadcasts this node's
+// announce, sweeps membership, expires index entries and timed-out
+// fetches, and pumps the queue — launching targeted provider fetches
+// under the worker and byte-rate budgets. Network sends happen after
+// n.mu is released.
+func (n *Node) repairTick() {
+	peers := n.net.Peers() // transport snapshot, taken outside n.mu
+
+	type fetch struct {
+		addr string
+		id   meta.DataID
+	}
+	var fetches []fetch
+	var fallbacks []meta.DataID
+	doAnnounce := false
+	var announce []byte
+
+	n.mu.Lock()
+	rd := n.repair
+	if rd == nil || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	nowD := n.now()
+	doAnnounce, announce = true, rd.announce
+
+	// Membership sweep: a roster node whose known address dropped off the
+	// transport's peer list accumulates failures toward Suspect.
+	peerSet := make(map[string]bool, len(peers))
+	for _, a := range peers {
+		peerSet[a] = true
+	}
+	for i := range n.cfg.Accounts {
+		if i == n.selfIdx {
+			continue
+		}
+		if a := rd.det.Addr(i); a != "" && !peerSet[a] {
+			rd.det.Fail(i)
+		}
+	}
+
+	rd.idx.ExpireUntil(nowD)
+	fallbacks = append(fallbacks, rd.queue.Expire(nowD)...)
+
+	// Pump: launch eligible fetches while worker slots and byte budget last.
+	for {
+		id, ok := rd.queue.Next(nowD)
+		if !ok {
+			break
+		}
+		if n.store.HasData(id) {
+			rd.queue.Done(id, nowD) // arrived by another path
+			continue
+		}
+		addr := n.pickProviderLocked(id, nowD)
+		if addr == "" {
+			// No reachable provider right now: retry next tick, and after
+			// MaxAttempts hand the item to the broadcast fallback.
+			if rd.queue.Defer(id, nowD+rd.probeEvery) {
+				fallbacks = append(fallbacks, id)
+			}
+			continue
+		}
+		if !rd.lim.Allow(nowD, repairFrameOverhead) {
+			n.tel.repairThrottled.Inc()
+			break // out of byte budget: everything else waits for refill
+		}
+		rd.queue.Launch(id, nowD)
+		fetches = append(fetches, fetch{addr: addr, id: id})
+	}
+
+	n.updateRepairGaugesLocked(nowD)
+	n.scheduleRepairLocked()
+	n.mu.Unlock()
+
+	if doAnnounce {
+		n.bcast(p2p.FrameRepairAnnounce, announce)
+	}
+	for _, f := range fetches {
+		n.tel.repairFetches.Inc()
+		n.send(f.addr, p2p.FrameRepairGet, f.id[:])
+	}
+	for _, id := range fallbacks {
+		n.tel.repairFallbacks.Inc()
+		n.RequestData(id)
+	}
+}
+
+// pickProviderLocked chooses the provider to fetch id from: a not-dead
+// provider with a known address, alive ones first, rotated by the task's
+// attempt count so retries spread across candidates (n.mu held). Returns
+// "" when no provider is currently reachable.
+func (n *Node) pickProviderLocked(id meta.DataID, now time.Duration) string {
+	rd := n.repair
+	var alive, suspect []string
+	for _, p := range rd.idx.Providers(id) {
+		if p == n.selfIdx {
+			continue
+		}
+		addr := rd.det.Addr(p)
+		if addr == "" {
+			continue
+		}
+		switch rd.det.Status(p, now) {
+		case repair.Alive:
+			alive = append(alive, addr)
+		case repair.Suspect:
+			suspect = append(suspect, addr)
+		}
+	}
+	cands := append(alive, suspect...)
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[rd.queue.Attempts(id)%len(cands)]
+}
+
+// updateRepairGaugesLocked refreshes the under-replication and dead-node
+// gauges (n.mu held).
+func (n *Node) updateRepairGaugesLocked(now time.Duration) {
+	rd := n.repair
+	dead := func(i int) bool { return rd.det.Status(i, now) == repair.Dead }
+	n.tel.underReplicated.Set(int64(len(rd.idx.Deficits(now, rd.floor, dead))))
+	n.tel.deadNodes.Set(int64(rd.det.CountDead(now)))
+}
+
+// handleRepairAnnounce ingests a peer's heartbeat: it binds the sender's
+// transport address to the claimed roster index and refreshes liveness.
+// The first time an address maps, we answer with our own announce so both
+// sides learn the binding without waiting a full probe period.
+func (n *Node) handleRepairAnnounce(from string, payload []byte) {
+	if len(payload) != 4 {
+		return
+	}
+	i := int(binary.BigEndian.Uint32(payload))
+	n.mu.Lock()
+	rd := n.repair
+	if rd == nil || i < 0 || i >= len(n.cfg.Accounts) || i == n.selfIdx {
+		n.mu.Unlock()
+		return
+	}
+	first := rd.det.Addr(i) == ""
+	if old := rd.det.Addr(i); old != "" && old != from {
+		delete(rd.addrIdx, old)
+	}
+	rd.det.SetAddr(i, from)
+	rd.addrIdx[from] = i
+	rd.det.Seen(i, n.now())
+	var reply []byte
+	if first {
+		reply = rd.announce
+	}
+	n.mu.Unlock()
+	if reply != nil {
+		n.send(from, p2p.FrameRepairAnnounce, reply)
+	}
+}
+
+// handleRepairGet answers a targeted repair fetch if this node holds the
+// content and the response fits the repair byte budget. A denied budget
+// means no answer: the requester times out, backs off and retries — that
+// is exactly the rate limit doing its job.
+func (n *Node) handleRepairGet(from string, payload []byte) {
+	if len(payload) != len(meta.DataID{}) {
+		return
+	}
+	var id meta.DataID
+	copy(id[:], payload)
+	content, ok := n.store.GetData(id)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	rd := n.repair
+	allowed := rd != nil && rd.lim.Allow(n.now(), repairFrameOverhead+len(content))
+	if rd != nil && !allowed {
+		n.tel.repairThrottled.Inc()
+	}
+	n.mu.Unlock()
+	if !allowed {
+		return
+	}
+	resp := make([]byte, len(id)+len(content))
+	copy(resp, id[:])
+	copy(resp[len(id):], content)
+	n.send(from, p2p.FrameRepairData, resp)
+}
+
+// handleRepairData ingests a targeted fetch response: content is verified
+// against its ID, stored, and the queue task completed.
+func (n *Node) handleRepairData(payload []byte) {
+	if len(payload) < len(meta.DataID{}) {
+		return
+	}
+	var id meta.DataID
+	copy(id[:], payload)
+	content := append([]byte(nil), payload[len(id):]...)
+	if meta.HashData(content) != id {
+		return // forged or corrupt: the task times out and retries elsewhere
+	}
+	dup := n.store.HasData(id)
+	if !dup {
+		if err := n.store.PutData(id, content); err != nil {
+			return
+		}
+	}
+	n.mu.Lock()
+	cb := n.onData
+	if rd := n.repair; rd != nil {
+		if lat, wasInflight := rd.queue.Done(id, n.now()); wasInflight {
+			n.tel.repairFetchNs.Observe(int64(lat))
+			n.tel.repairCompleted.Inc()
+		}
+	}
+	n.mu.Unlock()
+	if !dup && cb != nil {
+		cb(id, content)
+	}
+}
+
+// --- counted wire helpers ----------------------------------------------------
+//
+// Every application frame goes out through these wrappers so telemetry can
+// split wire bytes into consensus, data and repair traffic; the chaos
+// suite asserts the §11 invariant (repair strictly below consensus) from
+// the resulting counters. The 5 accounts for the frame header (4-byte
+// length + 1-byte type).
+
+func (n *Node) countWire(ft byte, payloadLen, copies int) {
+	if copies <= 0 {
+		return
+	}
+	bytes := (payloadLen + 5) * copies
+	switch ft {
+	case p2p.FrameDataRequest, p2p.FrameData:
+		n.tel.wireDataBytes.Add(bytes)
+	case p2p.FrameRepairAnnounce, p2p.FrameRepairGet, p2p.FrameRepairData:
+		n.tel.wireRepairBytes.Add(bytes)
+	default:
+		n.tel.wireConsensusBytes.Add(bytes)
+	}
+}
+
+// send is the counted p2p.Transport.Send; a failed send toward a mapped
+// roster node feeds the churn detector.
+func (n *Node) send(peer string, ft byte, payload []byte) {
+	if err := n.net.Send(peer, ft, payload); err != nil {
+		n.mu.Lock()
+		if rd := n.repair; rd != nil {
+			if i, ok := rd.addrIdx[peer]; ok {
+				rd.det.Fail(i)
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.countWire(ft, len(payload), 1)
+}
+
+// bcast is the counted p2p.Transport.Broadcast.
+func (n *Node) bcast(ft byte, payload []byte) {
+	delivered, _ := n.net.Broadcast(ft, payload)
+	n.countWire(ft, len(payload), delivered)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/chain"
+	"repro/internal/meta"
 	"repro/internal/p2p"
 )
 
@@ -308,9 +309,9 @@ func (n *Node) sendSyncLocator(peer string) {
 	payload := encodeLocator(n.eng.Chain().Locator())
 	n.mu.Unlock()
 	if peer == "" {
-		n.net.Broadcast(p2p.FrameSyncLocator, payload)
+		n.bcast(p2p.FrameSyncLocator, payload)
 	} else {
-		n.net.Send(peer, p2p.FrameSyncLocator, payload)
+		n.send(peer, p2p.FrameSyncLocator, payload)
 	}
 }
 
@@ -369,7 +370,7 @@ func (n *Node) handleSyncHeaders(from string, h syncHeaders) {
 		n.tel.syncFallbacks.Inc()
 		n.tel.chainSyncs.Inc()
 		n.mu.Unlock()
-		n.net.Send(from, p2p.FrameChainRequest, nil)
+		n.send(from, p2p.FrameChainRequest, nil)
 		return
 	}
 	n.syncGen++
@@ -383,7 +384,7 @@ func (n *Node) handleSyncHeaders(from string, h syncHeaders) {
 	}
 	req := n.requestBatchLocked()
 	n.mu.Unlock()
-	n.net.Send(from, p2p.FrameSyncGetBatch, req)
+	n.send(from, p2p.FrameSyncGetBatch, req)
 }
 
 // requestBatchLocked builds the next batch request and arms the per-batch
@@ -420,14 +421,14 @@ func (n *Node) onSyncTimeout(gen uint64) {
 		n.tel.syncFallbacks.Inc()
 		n.tel.chainSyncs.Inc()
 		n.mu.Unlock()
-		n.net.Send(peer, p2p.FrameChainRequest, nil)
+		n.send(peer, p2p.FrameChainRequest, nil)
 		return
 	}
 	n.tel.syncRetries.Inc()
 	req := n.requestBatchLocked()
 	peer := s.peer
 	n.mu.Unlock()
-	n.net.Send(peer, p2p.FrameSyncGetBatch, req)
+	n.send(peer, p2p.FrameSyncGetBatch, req)
 }
 
 // handleSyncBatch ingests one FrameSyncBatch. Catch-up batches (fork at
@@ -481,7 +482,7 @@ func (n *Node) handleSyncBatch(from string, sb syncBatch) {
 		req := n.requestBatchLocked()
 		peer := s.peer
 		n.mu.Unlock()
-		n.net.Send(peer, p2p.FrameSyncGetBatch, req)
+		n.send(peer, p2p.FrameSyncGetBatch, req)
 		return
 	}
 
@@ -514,10 +515,35 @@ func (n *Node) abortSyncLocked(why string) {
 // aborted (the chain may simply have moved on) and false is returned.
 func (n *Node) adoptSyncSuffixLocked(suffix []*block.Block) bool {
 	oldHeight := n.eng.Height()
+	// Which suffix items were re-announcements must be decided against the
+	// provider index BEFORE the suffix is applied to it.
+	var knownBefore map[meta.DataID]bool
+	if rd := n.repair; rd != nil {
+		knownBefore = make(map[meta.DataID]bool)
+		for _, b := range suffix {
+			for _, it := range b.Items {
+				if rd.idx.Providers(it.ID) != nil {
+					knownBefore[it.ID] = true
+				}
+			}
+		}
+	}
 	stats, ok := n.eng.AdoptSuffix(suffix)
 	if !ok {
 		n.abortSyncLocked(fmt.Sprintf("engine rejected suffix at fork %d", stats.ForkPoint))
 		return false
+	}
+	// AdoptSuffix runs no OnAppend hooks; maintain the repair plane's
+	// provider index by hand. A pure catch-up extends it incrementally; a
+	// true fork invalidates incremental state, so rebuild from scratch.
+	if rd := n.repair; rd != nil {
+		if stats.ForkPoint == oldHeight {
+			for _, b := range suffix {
+				rd.idx.ApplyBlock(b)
+			}
+		} else {
+			rd.idx.Rebuild(n.eng.Chain().Blocks())
+		}
 	}
 	n.tel.blocksAdopted.Add(stats.Appended)
 	n.tel.syncBlocksReplayed.Add(stats.Replayed)
@@ -558,13 +584,20 @@ func (n *Node) adoptSyncSuffixLocked(suffix []*block.Block) bool {
 		n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))
 	}
 	// Fetch data content this node is newly assigned to store — the same
-	// side effect onAppend applies to live blocks.
+	// side effect onAppend applies to live blocks. Re-announcements of
+	// items with known providers route through the targeted repair queue.
 	for _, b := range suffix {
 		for _, it := range b.Items {
 			for _, sn := range it.StoringNodes {
 				if sn == n.selfIdx && !n.store.HasData(it.ID) {
 					id := it.ID
-					n.clock.AfterFunc(0, func() { n.RequestData(id) })
+					if n.repair != nil && knownBefore[id] {
+						if n.repair.queue.Add(id, n.now()) {
+							n.tel.repairEnqueued.Inc()
+						}
+					} else {
+						n.clock.AfterFunc(0, func() { n.RequestData(id) })
+					}
 					break
 				}
 			}

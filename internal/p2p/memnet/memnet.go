@@ -13,6 +13,7 @@
 package memnet
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -140,6 +141,32 @@ type message struct {
 	due      time.Time
 }
 
+// messageQueue is a min-heap of in-flight messages ordered by (due, seq)
+// — exactly the delivery order DeliverNext promises. seq is unique, so
+// the order is total and every pop is deterministic. The heap turns the
+// per-delivery cost from O(queue) to O(log queue), which is what keeps
+// large clusters (64+ nodes, whose connect storms put tens of thousands
+// of same-instant frames in flight) tractable.
+type messageQueue []*message
+
+func (q messageQueue) Len() int { return len(q) }
+func (q messageQueue) Less(i, j int) bool {
+	if !q[i].due.Equal(q[j].due) {
+		return q[i].due.Before(q[j].due)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q messageQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *messageQueue) Push(x any)   { *q = append(*q, x.(*message)) }
+func (q *messageQueue) Pop() any {
+	old := *q
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return m
+}
+
 // Network is the shared hub all memnet endpoints attach to. It is safe for
 // concurrent use, but determinism requires that sends and deliveries be
 // driven from a single goroutine (the chaos harness's scheduler).
@@ -154,7 +181,7 @@ type Network struct {
 	blocked   map[linkKey]bool
 	lastDue   map[linkKey]time.Time
 	endpoints map[string]*Endpoint
-	queue     []*message
+	queue     messageQueue
 	msgSeq    uint64
 	evSeq     uint64
 	events    []Event
@@ -269,16 +296,24 @@ func (n *Network) Heal() {
 
 // dropCrossingLocked removes queued messages whose link is now blocked.
 func (n *Network) dropCrossingLocked(reason string) {
+	var dropped []*message
 	kept := n.queue[:0]
 	for _, m := range n.queue {
 		if n.blocked[linkKey{m.from, m.to}] {
-			n.metrics.PartitionKills.Inc()
-			n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: reason})
+			dropped = append(dropped, m)
 			continue
 		}
 		kept = append(kept, m)
 	}
 	n.queue = kept
+	heap.Init(&n.queue)
+	// Log drops in send order (seq), the order the pre-heap queue kept
+	// naturally — the heap's internal array order is not meaningful.
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i].seq < dropped[j].seq })
+	for _, m := range dropped {
+		n.metrics.PartitionKills.Inc()
+		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: reason})
+	}
 }
 
 func (n *Network) logLocked(e Event) {
@@ -317,22 +352,10 @@ func (n *Network) Pending() int {
 func (n *Network) NextDue() (time.Time, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	i := n.earliestLocked()
-	if i < 0 {
+	if len(n.queue) == 0 {
 		return time.Time{}, false
 	}
-	return n.queue[i].due, true
-}
-
-func (n *Network) earliestLocked() int {
-	best := -1
-	for i, m := range n.queue {
-		if best < 0 || m.due.Before(n.queue[best].due) ||
-			(m.due.Equal(n.queue[best].due) && m.seq < n.queue[best].seq) {
-			best = i
-		}
-	}
-	return best
+	return n.queue[0].due, true
 }
 
 // DeliverNext pops the earliest in-flight message (ties broken by send
@@ -341,13 +364,11 @@ func (n *Network) earliestLocked() int {
 // endpoints are consumed and logged as drops.
 func (n *Network) DeliverNext() bool {
 	n.mu.Lock()
-	i := n.earliestLocked()
-	if i < 0 {
+	if len(n.queue) == 0 {
 		n.mu.Unlock()
 		return false
 	}
-	m := n.queue[i]
-	n.queue = append(n.queue[:i], n.queue[i+1:]...)
+	m := heap.Pop(&n.queue).(*message)
 	if n.blocked[linkKey{m.from, m.to}] {
 		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "cut"})
@@ -412,7 +433,7 @@ func (n *Network) scheduleLocked(key linkKey, frame byte, payload []byte, p Para
 		n.lastDue[key] = due
 	}
 	n.msgSeq++
-	n.queue = append(n.queue, &message{
+	heap.Push(&n.queue, &message{
 		seq:     n.msgSeq,
 		from:    key.from,
 		to:      key.to,

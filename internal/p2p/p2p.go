@@ -60,6 +60,16 @@ const (
 	FrameSyncGetBatch
 	// FrameSyncBatch carries the requested blocks of one batch.
 	FrameSyncBatch
+	// FrameRepairAnnounce is the repair plane's liveness heartbeat: a
+	// 4-byte roster index binding the sender's transport address to its
+	// node ID (DESIGN.md §11).
+	FrameRepairAnnounce
+	// FrameRepairGet asks one specific provider for a 32-byte data ID
+	// (targeted, rate-limited re-replication fetch).
+	FrameRepairGet
+	// FrameRepairData answers a FrameRepairGet: the 32-byte data ID
+	// followed by the content.
+	FrameRepairData
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) against corrupt length

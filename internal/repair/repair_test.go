@@ -1,0 +1,349 @@
+package repair
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/meta"
+)
+
+func testItem(tag string, produced, validFor time.Duration, storing ...int) *meta.Item {
+	return &meta.Item{
+		ID:           meta.HashData([]byte(tag)),
+		Type:         "Test/Repair",
+		Produced:     produced,
+		ValidFor:     validFor,
+		DataSize:     len(tag),
+		StoringNodes: storing,
+	}
+}
+
+// --- index ------------------------------------------------------------------
+
+func TestIndexApplyReplaceAndReverse(t *testing.T) {
+	idx := NewIndex(4)
+	a := testItem("a", 0, 0, 2, 0)
+	idx.Apply(a)
+	if got := idx.Providers(a.ID); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("providers = %v, want [0 2]", got)
+	}
+	if got := idx.Size(a.ID); got != 1 {
+		t.Fatalf("size = %d, want 1", got)
+	}
+	if items := idx.Items(2); len(items) != 1 || items[0] != a.ID {
+		t.Fatalf("node 2 items = %v", items)
+	}
+	// Re-announcement replaces the previous assignment entirely.
+	moved := a.Clone()
+	moved.StoringNodes = []int{1, 3}
+	idx.Apply(moved)
+	if got := idx.Providers(a.ID); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("providers after migration = %v, want [1 3]", got)
+	}
+	if items := idx.Items(0); len(items) != 0 {
+		t.Fatalf("node 0 still indexed after migration: %v", items)
+	}
+	// Out-of-range storing nodes are dropped, like StorageView.
+	weird := a.Clone()
+	weird.StoringNodes = []int{-1, 2, 99}
+	idx.Apply(weird)
+	if got := idx.Providers(a.ID); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("providers with junk input = %v, want [2]", got)
+	}
+}
+
+func TestIndexExpiry(t *testing.T) {
+	idx := NewIndex(3)
+	short := testItem("short", 0, 10*time.Second, 0, 1)
+	forever := testItem("forever", 0, 0, 1, 2)
+	idx.Apply(short)
+	idx.Apply(forever)
+
+	// Strict comparison: at exactly ExpiresAt the item is still live.
+	idx.ExpireUntil(10 * time.Second)
+	if idx.Providers(short.ID) == nil {
+		t.Fatal("item expired at exactly ExpiresAt; expiry must be strict")
+	}
+	idx.ExpireUntil(10*time.Second + 1)
+	if idx.Providers(short.ID) != nil {
+		t.Fatal("item still live past its valid time")
+	}
+	if items := idx.Items(0); len(items) != 0 {
+		t.Fatalf("node 0 items after expiry = %v", items)
+	}
+	if idx.Providers(forever.ID) == nil {
+		t.Fatal("ValidFor==0 item must never expire")
+	}
+	// A stale re-announcement of an expired item is ignored.
+	idx.Apply(short.Clone())
+	if idx.Providers(short.ID) != nil {
+		t.Fatal("expired item revived by a stale re-announcement")
+	}
+	if live := idx.Live(); len(live) != 1 || live[0] != forever.ID {
+		t.Fatalf("live = %v, want only the forever item", live)
+	}
+}
+
+func TestIndexRebuildMatchesIncremental(t *testing.T) {
+	genesis := block.Genesis(1)
+	items := []*meta.Item{
+		testItem("x", 0, 5*time.Second, 0, 1),
+		testItem("y", 0, 0, 1, 2),
+		testItem("z", 2*time.Second, 20*time.Second, 0, 2),
+	}
+	migrated := items[1].Clone()
+	migrated.StoringNodes = []int{0, 3}
+	blocks := []*block.Block{
+		genesis,
+		{Index: 1, Items: items[:2]},
+		{Index: 2, Items: []*meta.Item{items[2], migrated}},
+	}
+	now := 8 * time.Second
+
+	inc := NewIndex(4)
+	for _, b := range blocks[1:] {
+		inc.ApplyBlock(b)
+		inc.ExpireUntil(3 * time.Second) // interleaved partial expiry
+	}
+	inc.ExpireUntil(now)
+
+	scratch := NewIndex(4)
+	scratch.Rebuild(blocks)
+	scratch.ExpireUntil(now)
+
+	if inc.Snapshot() != scratch.Snapshot() {
+		t.Fatalf("incremental and rebuilt snapshots differ:\n--- incremental\n%s--- rebuilt\n%s",
+			inc.Snapshot(), scratch.Snapshot())
+	}
+	if inc.Providers(items[0].ID) != nil {
+		t.Fatal("item x should have expired")
+	}
+	if got := inc.Providers(items[1].ID); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("migrated item providers = %v, want [0 3]", got)
+	}
+}
+
+func TestIndexDeficits(t *testing.T) {
+	idx := NewIndex(4)
+	a := testItem("a", 0, 0, 0, 1)
+	b := testItem("b", 0, 0, 2, 3)
+	single := testItem("s", 0, 0, 3)
+	idx.Apply(a)
+	idx.Apply(b)
+	idx.Apply(single)
+
+	dead := func(i int) bool { return i == 1 }
+	defs := idx.Deficits(0, 2, dead)
+	if len(defs) != 2 {
+		t.Fatalf("deficits = %+v, want item a (dead provider) and item s (single replica)", defs)
+	}
+	for _, d := range defs {
+		if d.ID == a.ID {
+			if len(d.Alive) != 1 || d.Alive[0] != 0 {
+				t.Fatalf("item a alive providers = %v, want [0]", d.Alive)
+			}
+		}
+		if d.Want != 2 {
+			t.Fatalf("want = %d with 3 up nodes, expected floor 2", d.Want)
+		}
+	}
+	// With only one node up, the effective floor drops to 1: fully-dead
+	// assignments still show, satisfiable ones don't.
+	mostlyDead := func(i int) bool { return i != 3 }
+	defs = idx.Deficits(0, 2, mostlyDead)
+	if len(defs) != 1 || defs[0].ID != a.ID || defs[0].Want != 1 {
+		t.Fatalf("deficits with one up node = %+v, want only item a at floor 1", defs)
+	}
+	if defs := idx.Deficits(0, 2, nil); len(defs) != 1 || defs[0].ID != single.ID {
+		t.Fatalf("deficits with all alive = %+v, want only the single-replica item", defs)
+	}
+}
+
+// --- churn detector ---------------------------------------------------------
+
+func TestDetectorLifecycle(t *testing.T) {
+	cfg := DetectorConfig{N: 3, Self: 0, SuspectAfter: 10 * time.Second, Hysteresis: 15 * time.Second}
+	d := NewDetector(cfg, 0)
+
+	// Boot grace: nobody is suspect before SuspectAfter elapses.
+	if s := d.Status(1, 9*time.Second); s != Alive {
+		t.Fatalf("status during boot grace = %v, want alive", s)
+	}
+	if s := d.Status(1, 10*time.Second); s != Suspect {
+		t.Fatalf("status at SuspectAfter = %v, want suspect", s)
+	}
+	// Hysteresis: suspect does not become dead until the extra window passes.
+	if s := d.Status(1, 24*time.Second); s != Suspect {
+		t.Fatalf("status inside hysteresis = %v, want suspect", s)
+	}
+	if s := d.Status(1, 25*time.Second); s != Dead {
+		t.Fatalf("status past hysteresis = %v, want dead", s)
+	}
+	// Fresh evidence revives immediately.
+	d.Seen(1, 25*time.Second)
+	if s := d.Status(1, 26*time.Second); s != Alive {
+		t.Fatalf("status after Seen = %v, want alive", s)
+	}
+	// Self is always alive.
+	if s := d.Status(0, time.Hour); s != Alive {
+		t.Fatalf("self status = %v, want alive", s)
+	}
+	if got := d.CountDead(time.Hour); got != 2 {
+		t.Fatalf("CountDead = %d, want 2 (everyone but self and the revived node... )", got)
+	}
+}
+
+func TestDetectorFailuresForceSuspectNotDead(t *testing.T) {
+	cfg := DetectorConfig{N: 2, Self: 0, SuspectAfter: time.Minute, Hysteresis: time.Minute, FailThreshold: 3}
+	d := NewDetector(cfg, 0)
+	d.Fail(1)
+	d.Fail(1)
+	if s := d.Status(1, time.Second); s != Alive {
+		t.Fatalf("status below FailThreshold = %v, want alive", s)
+	}
+	d.Fail(1)
+	if s := d.Status(1, time.Second); s != Suspect {
+		t.Fatalf("status at FailThreshold = %v, want suspect", s)
+	}
+	// Failures alone can NEVER kill: Dead requires the full silence window.
+	for i := 0; i < 100; i++ {
+		d.Fail(1)
+	}
+	if s := d.Status(1, 90*time.Second); s != Suspect {
+		t.Fatalf("status with failures inside silence window = %v, want suspect", s)
+	}
+	d.Seen(1, 90*time.Second)
+	if s := d.Status(1, 91*time.Second); s != Alive {
+		t.Fatalf("Seen must clear the failure count, got %v", s)
+	}
+}
+
+func TestDetectorSeenMonotonic(t *testing.T) {
+	d := NewDetector(DetectorConfig{N: 2, Self: 0, SuspectAfter: 10 * time.Second}, 0)
+	d.Seen(1, 30*time.Second)
+	// Replaying an old block must not rewind the liveness evidence.
+	d.Seen(1, 5*time.Second)
+	if s := d.Status(1, 35*time.Second); s != Alive {
+		t.Fatalf("stale evidence rewound lastSeen: %v", s)
+	}
+	d.SetAddr(1, "node01")
+	if d.Addr(1) != "node01" || d.Addr(0) != "" || d.Addr(7) != "" {
+		t.Fatal("addr bookkeeping broken")
+	}
+}
+
+// --- limiter ----------------------------------------------------------------
+
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(1000, 2000, 0) // 1000 B/s, 2000 B burst, starts full
+	if !l.Allow(0, 2000) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if l.Allow(0, 1) {
+		t.Fatal("empty bucket allowed a send")
+	}
+	if !l.Allow(500*time.Millisecond, 500) {
+		t.Fatal("refill at rate*elapsed did not cover 500 bytes after 500ms")
+	}
+	if l.Allow(500*time.Millisecond, 1) {
+		t.Fatal("bucket drained twice at the same instant")
+	}
+	// Refill saturates at burst.
+	if !l.Allow(time.Hour, 2000) {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if l.Allow(time.Hour, 1) {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+	unlimited := NewLimiter(0, 0, 0)
+	if !unlimited.Allow(0, 1<<40) {
+		t.Fatal("rate<=0 must disable limiting")
+	}
+}
+
+// --- queue ------------------------------------------------------------------
+
+func TestQueueDedupOrderingAndWorkers(t *testing.T) {
+	q := NewQueue(QueueConfig{Workers: 1, Timeout: 10 * time.Second})
+	a := meta.HashData([]byte("a"))
+	b := meta.HashData([]byte("b"))
+	if !q.Add(a, 0) || !q.Add(b, time.Second) {
+		t.Fatal("fresh adds rejected")
+	}
+	if q.Add(a, 2*time.Second) {
+		t.Fatal("duplicate add accepted (in-flight dedup broken)")
+	}
+	id, ok := q.Next(2 * time.Second)
+	if !ok || id != a {
+		t.Fatalf("Next = %v %v, want the earliest-added task", id.Short(), ok)
+	}
+	q.Launch(a, 2*time.Second)
+	if _, ok := q.Next(2 * time.Second); ok {
+		t.Fatal("Next handed out work beyond the worker bound")
+	}
+	lat, wasInflight := q.Done(a, 5*time.Second)
+	if !wasInflight || lat != 3*time.Second {
+		t.Fatalf("Done = (%v, %v), want (3s, true)", lat, wasInflight)
+	}
+	if id, ok := q.Next(2 * time.Second); !ok || id != b {
+		t.Fatal("slot not released after Done")
+	}
+	// Done on a pending (not launched) task still removes it.
+	if _, wasInflight := q.Done(b, 6*time.Second); wasInflight {
+		t.Fatal("pending task reported as in flight")
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not empty: len=%d inflight=%d", q.Len(), q.InFlight())
+	}
+}
+
+func TestQueueExpireBackoffAndGiveUp(t *testing.T) {
+	q := NewQueue(QueueConfig{Workers: 2, MaxAttempts: 2, Backoff: time.Second, Timeout: 10 * time.Second})
+	a := meta.HashData([]byte("a"))
+	q.Add(a, 0)
+	q.Launch(a, 0)
+	if gaveUp := q.Expire(5 * time.Second); len(gaveUp) != 0 {
+		t.Fatal("task expired before its deadline")
+	}
+	if gaveUp := q.Expire(10 * time.Second); len(gaveUp) != 0 {
+		t.Fatal("first timeout must back off, not give up")
+	}
+	if q.Attempts(a) != 1 || q.InFlight() != 0 {
+		t.Fatalf("attempts=%d inflight=%d after first timeout", q.Attempts(a), q.InFlight())
+	}
+	// Backoff: not eligible until now + Backoff<<attempts.
+	if _, ok := q.Next(11 * time.Second); ok {
+		t.Fatal("task relaunched inside its backoff window")
+	}
+	if _, ok := q.Next(12 * time.Second); !ok {
+		t.Fatal("task not eligible after backoff")
+	}
+	q.Launch(a, 12*time.Second)
+	// Second timeout exhausts MaxAttempts=2.
+	gaveUp := q.Expire(40 * time.Second)
+	if len(gaveUp) != 1 || gaveUp[0] != a {
+		t.Fatalf("gaveUp = %v, want [a]", gaveUp)
+	}
+	if q.Len() != 0 {
+		t.Fatal("given-up task still tracked")
+	}
+}
+
+func TestQueueDefer(t *testing.T) {
+	q := NewQueue(QueueConfig{Workers: 1, MaxAttempts: 2})
+	a := meta.HashData([]byte("a"))
+	q.Add(a, 0)
+	if q.Defer(a, 5*time.Second) {
+		t.Fatal("first defer gave up")
+	}
+	if _, ok := q.Next(4 * time.Second); ok {
+		t.Fatal("deferred task eligible early")
+	}
+	if !q.Defer(a, 10*time.Second) {
+		t.Fatal("second defer should exhaust MaxAttempts=2")
+	}
+	if q.Len() != 0 {
+		t.Fatal("given-up task still tracked")
+	}
+}
