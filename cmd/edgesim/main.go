@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"time"
 
@@ -29,6 +30,21 @@ func main() {
 		consensus = flag.String("consensus", "pos", "mining consensus: pos | pow")
 		migrate   = flag.Int("migrate", 0, "max data migrations per block (0 = off)")
 		verbose   = flag.Bool("v", false, "print per-node detail")
+
+		// Open-loop streaming workload knobs: setting any of them replaces
+		// the built-in constant-rate generator with a pre-drained stream
+		// (diurnal/burst arrival modulation, Zipf type skew, multiplexed
+		// logical users).
+		diurnal      = flag.Duration("diurnal", 0, "diurnal rate period (0 = constant rate)")
+		diurnalAmp   = flag.Float64("diurnal-amp", 0.5, "diurnal amplitude in [0,1]")
+		burstEvery   = flag.Duration("burst-every", 0, "flash-crowd window period (0 = none)")
+		burstDur     = flag.Duration("burst-dur", time.Minute, "flash-crowd window length")
+		burstOffset  = flag.Duration("burst-offset", 0, "first flash-crowd window start")
+		burstFactor  = flag.Float64("burst-factor", 10, "rate multiplier inside a flash-crowd window")
+		typeZipf     = flag.Float64("type-zipf", 0, "Zipf exponent for data-type popularity (>1 to enable)")
+		users        = flag.Int64("users", 0, "logical users multiplexed over the nodes (0 = per-node model)")
+		userZipf     = flag.Float64("user-zipf", 0, "Zipf exponent for user activity (>1 to enable)")
+		sessionEpoch = flag.Duration("session-epoch", 0, "user session re-keying period (mobility; 0 = pinned)")
 	)
 	flag.Parse()
 
@@ -55,6 +71,47 @@ func main() {
 	}
 	cfg.MigrateMaxPerBlock = *migrate
 
+	streaming := *diurnal > 0 || *burstEvery > 0 || *typeZipf > 1 || *users > 0
+	if streaming {
+		sc := edgechain.StreamWorkloadConfig{
+			Duration:   *duration,
+			RatePerMin: *rate,
+			NumNodes:   *nodes,
+			Seed:       *seed,
+		}
+		if *diurnal > 0 {
+			sc.DiurnalPeriod = *diurnal
+			sc.DiurnalAmplitude = *diurnalAmp
+		}
+		if *burstEvery > 0 {
+			sc.BurstEvery = *burstEvery
+			sc.BurstDuration = *burstDur
+			sc.BurstOffset = *burstOffset
+			sc.BurstFactor = *burstFactor
+		}
+		if *typeZipf > 1 {
+			sc.TypeZipfS = *typeZipf
+		}
+		if *users > 0 {
+			sc.Users = *users
+			if *userZipf > 1 {
+				sc.UserZipfS = *userZipf
+			}
+			sc.SessionEpoch = *sessionEpoch
+		}
+		// With a trace, consumers come from the trace events, so bake the
+		// sim's own pool convention (RequesterFraction of nodes) into the
+		// stream instead of leaving requests off.
+		sc.Requesters = edgechain.PickRequesterPool(*nodes, cfg.RequesterFraction,
+			rand.New(rand.NewSource(*seed)))
+		sc.RequestsPerItem = cfg.RequestsPerItem
+		stream, err := edgechain.NewWorkloadStream(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Trace = stream.Drain()
+	}
+
 	start := time.Now()
 	sys, err := edgechain.NewSimulation(cfg)
 	if err != nil {
@@ -68,6 +125,9 @@ func main() {
 	fmt.Printf("edgesim: %d nodes, %.0f items/min, %v simulated in %v wall time (seed %d)\n",
 		res.NumNodes, res.DataRatePerMin, *duration, time.Since(start).Round(time.Millisecond), *seed)
 	fmt.Printf("  placement:        %v\n", res.Placement)
+	if streaming {
+		fmt.Printf("  workload:         open-loop stream (%d events drained)\n", cfg.Trace.Len())
+	}
 	fmt.Printf("  chain height:     %d blocks (t0 = %v)\n", res.ChainHeight, *blockTime)
 	fmt.Printf("  data generated:   %d items\n", res.DataGenerated)
 	fmt.Printf("  deliveries:       %d (mean %.2f s, p50 %.2f s, p95 %.2f s, failed %d)\n",

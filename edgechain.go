@@ -163,6 +163,33 @@ func GenerateWorkload(cfg WorkloadConfig) (*WorkloadTrace, error) {
 	return workload.Generate(cfg)
 }
 
+// Open-loop streaming workloads: the generalization of WorkloadConfig
+// with time-varying arrival rates (diurnal sinusoid, flash-crowd bursts),
+// Zipf popularity skew, and millions of logical users multiplexed over
+// the node set. Events are generated lazily in O(1) memory; Drain
+// materializes them into a WorkloadTrace for Config.Trace replay.
+type (
+	// StreamWorkloadConfig parametrizes an open-loop event stream.
+	StreamWorkloadConfig = workload.StreamConfig
+	// WorkloadStream is a lazy, seeded open-loop event generator.
+	WorkloadStream = workload.Stream
+	// WorkloadEvent is one data production event.
+	WorkloadEvent = workload.Event
+)
+
+// NewWorkloadStream builds an open-loop generator; same config, same
+// event sequence. A config with none of the streaming knobs set yields
+// exactly the GenerateWorkload events for the same seed.
+func NewWorkloadStream(cfg StreamWorkloadConfig) (*WorkloadStream, error) {
+	return workload.NewStream(cfg)
+}
+
+// PickRequesterPool selects the paper's consumer pool (a fraction of the
+// nodes, Section VI-A) for a workload configuration.
+func PickRequesterPool(numNodes int, fraction float64, rng *mathrand.Rand) []int {
+	return workload.PickRequesterPool(numNodes, fraction, rng)
+}
+
 // Live deployment: the same blockchain over real TCP sockets and the wall
 // clock (see cmd/edgenode for the CLI form).
 type (

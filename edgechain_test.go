@@ -2,6 +2,7 @@ package edgechain_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -68,4 +69,47 @@ func ExampleRunSimulation() {
 	}
 	fmt.Println(res.ChainHeight > 0, res.StorageGini < 0.5)
 	// Output: true true
+}
+
+// TestStreamWorkloadFacade drives a simulation from a drained open-loop
+// stream (diurnal + burst arrivals, Zipf types, multiplexed users) and
+// checks the trade loop actually ran: items produced, requesters served.
+func TestStreamWorkloadFacade(t *testing.T) {
+	const nodes = 12
+	cfg := edgechain.DefaultConfig(nodes)
+	cfg.Seed = 1
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stream, err := edgechain.NewWorkloadStream(edgechain.StreamWorkloadConfig{
+		Duration:         30 * time.Minute,
+		RatePerMin:       3,
+		DiurnalPeriod:    30 * time.Minute,
+		DiurnalAmplitude: 0.7,
+		BurstEvery:       30 * time.Minute,
+		BurstOffset:      5 * time.Minute,
+		BurstDuration:    3 * time.Minute,
+		BurstFactor:      6,
+		NumNodes:         nodes,
+		Requesters:       edgechain.PickRequesterPool(nodes, 0.25, rng),
+		RequestsPerItem:  1,
+		TypeZipfS:        1.2,
+		Users:            50_000,
+		UserZipfS:        1.3,
+		SessionEpoch:     10 * time.Minute,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = stream.Drain()
+	if cfg.Trace.Len() == 0 {
+		t.Fatal("stream drained no events")
+	}
+	res, err := edgechain.RunSimulation(cfg, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataGenerated == 0 || res.Delivery.Count == 0 {
+		t.Fatalf("trace-driven run produced %d items, delivered %d requests",
+			res.DataGenerated, res.Delivery.Count)
+	}
 }

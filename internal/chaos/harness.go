@@ -249,17 +249,28 @@ func (c *Cluster) Accounts() []identity.Address { return c.accounts }
 func (c *Cluster) Params() pos.Params { return c.params }
 
 // ConnectAll links every live node pair and lets them exchange chains.
+// Each node dials all its higher-indexed peers in one batched Connect
+// call (memnet links are symmetric), so the whole mesh costs one
+// post-handshake sync broadcast per node instead of one per pair — the
+// per-pair version made wiring up a 256-node cluster an O(n³) locator
+// storm before the first block was ever mined.
 func (c *Cluster) ConnectAll() error {
+	addrs := make([]string, 0, len(c.nodes))
 	for i, a := range c.nodes {
 		if a == nil {
 			continue
 		}
-		for j, b := range c.nodes {
-			if i < j && b != nil {
-				if err := a.Connect(Addr(j)); err != nil {
-					return err
-				}
+		addrs = addrs[:0]
+		for j := i + 1; j < len(c.nodes); j++ {
+			if c.nodes[j] != nil {
+				addrs = append(addrs, Addr(j))
 			}
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		if err := a.Connect(addrs...); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@
 package chaos
 
 import (
+	"container/heap"
 	"sync"
 	"time"
 
@@ -22,11 +23,17 @@ import (
 // when the harness advances it; timers fire inline on the advancing
 // goroutine in (due time, creation order) sequence, which is what makes
 // whole-cluster schedules deterministic.
+//
+// Timers live in a (due, seq) min-heap with lazy deletion: Stop marks a
+// timer done and it is discarded when it surfaces at the top. Every
+// operation is O(log timers), where the old linear scan-and-compact made
+// each delivery O(timers) — at 256 nodes the heartbeat and mining timers
+// alone put thousands of timers in flight.
 type VClock struct {
 	mu     sync.Mutex
 	now    time.Time
 	seq    uint64
-	timers []*vtimer
+	timers timerHeap
 }
 
 type vtimer struct {
@@ -35,6 +42,28 @@ type vtimer struct {
 	seq   uint64
 	fn    func()
 	done  bool // fired or stopped
+}
+
+// timerHeap orders pending timers by (due time, creation order); seq is
+// unique so the order is total and firing is deterministic.
+type timerHeap []*vtimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*vtimer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
 }
 
 // NewVClock creates a virtual clock starting at the given instant
@@ -60,7 +89,7 @@ func (c *VClock) AfterFunc(d time.Duration, fn func()) livenode.Timer {
 	defer c.mu.Unlock()
 	c.seq++
 	t := &vtimer{clock: c, at: c.now.Add(d), seq: c.seq, fn: fn}
-	c.timers = append(c.timers, t)
+	heap.Push(&c.timers, t)
 	return t
 }
 
@@ -96,20 +125,17 @@ func (c *VClock) NextTimer() (time.Time, bool) {
 	return t.at, true
 }
 
+// earliestLocked returns the earliest pending timer without removing it,
+// discarding stopped timers that have surfaced at the top of the heap.
 func (c *VClock) earliestLocked() *vtimer {
-	var best *vtimer
-	kept := c.timers[:0]
-	for _, t := range c.timers {
-		if t.done {
-			continue // compact stopped timers away
+	for len(c.timers) > 0 {
+		t := c.timers[0]
+		if !t.done {
+			return t
 		}
-		kept = append(kept, t)
-		if best == nil || t.at.Before(best.at) || (t.at.Equal(best.at) && t.seq < best.seq) {
-			best = t
-		}
+		heap.Pop(&c.timers)
 	}
-	c.timers = kept
-	return best
+	return nil
 }
 
 // AdvanceTo moves the clock forward to target, firing every timer due on
@@ -127,6 +153,7 @@ func (c *VClock) AdvanceTo(target time.Time) {
 			c.mu.Unlock()
 			return
 		}
+		heap.Pop(&c.timers)
 		t.done = true
 		if t.at.After(c.now) {
 			c.now = t.at

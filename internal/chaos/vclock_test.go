@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVClockOrdering: timers fire in (due, creation) order even when
+// scheduled out of order, and stopped timers never fire.
+func TestVClockOrdering(t *testing.T) {
+	epoch := time.Unix(1700000000, 0)
+	c := NewVClock(epoch)
+	var fired []int
+	c.AfterFunc(3*time.Second, func() { fired = append(fired, 3) })
+	c.AfterFunc(1*time.Second, func() { fired = append(fired, 1) })
+	tieA := c.AfterFunc(2*time.Second, func() { fired = append(fired, 2) })
+	c.AfterFunc(2*time.Second, func() { fired = append(fired, 22) })
+	stopped := c.AfterFunc(500*time.Millisecond, func() { fired = append(fired, -1) })
+	if !stopped.Stop() {
+		t.Fatal("first Stop reported already-done")
+	}
+	if stopped.Stop() {
+		t.Fatal("second Stop reported success")
+	}
+	_ = tieA
+	c.AdvanceTo(epoch.Add(10 * time.Second))
+	want := []int{1, 2, 22, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestVClockTimerChain: a callback scheduling another timer inside the
+// advance window fires within the same AdvanceTo.
+func TestVClockTimerChain(t *testing.T) {
+	epoch := time.Unix(1700000000, 0)
+	c := NewVClock(epoch)
+	var hits int
+	c.AfterFunc(time.Second, func() {
+		hits++
+		c.AfterFunc(time.Second, func() { hits++ })
+	})
+	c.AdvanceTo(epoch.Add(5 * time.Second))
+	if hits != 2 {
+		t.Fatalf("chained timer fired %d times, want 2", hits)
+	}
+	if got := c.Now(); !got.Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("clock at %v, want %v", got, epoch.Add(5*time.Second))
+	}
+}
+
+// TestVClockHotPathAllocs is the timer heap's alloc gate: one
+// schedule+fire cycle allocates only the timer struct itself (the heap
+// storage is reused), and Stop allocates nothing. This is what keeps
+// 256-node runs — thousands of heartbeat and mining timers in flight —
+// allocation-flat.
+func TestVClockHotPathAllocs(t *testing.T) {
+	epoch := time.Unix(1700000000, 0)
+	c := NewVClock(epoch)
+	fn := func() {}
+	// Warm the heap storage.
+	for i := 0; i < 64; i++ {
+		c.AfterFunc(time.Millisecond, fn)
+	}
+	c.AdvanceTo(c.Now().Add(time.Second))
+
+	if got := testing.AllocsPerRun(1000, func() {
+		c.AfterFunc(time.Millisecond, fn)
+		c.AdvanceTo(c.Now().Add(2 * time.Millisecond))
+	}); got > 1 {
+		t.Fatalf("schedule+fire cycle allocates %.2f/op, want ≤ 1 (the timer struct)", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		c.AfterFunc(time.Millisecond, fn).Stop()
+		c.AdvanceTo(c.Now().Add(2 * time.Millisecond))
+	}); got > 1 {
+		t.Fatalf("schedule+stop cycle allocates %.2f/op, want ≤ 1 (the timer struct)", got)
+	}
+}
+
+// TestVClockManyTimers drives a large mixed schedule and checks the heap
+// discipline holds: every live timer fires exactly once, in order.
+func TestVClockManyTimers(t *testing.T) {
+	epoch := time.Unix(1700000000, 0)
+	c := NewVClock(epoch)
+	const n = 5000
+	var fired int
+	var last time.Time
+	for i := 0; i < n; i++ {
+		d := time.Duration((i*7919)%1000) * time.Millisecond
+		timer := c.AfterFunc(d, func() {
+			now := c.Now()
+			if now.Before(last) {
+				t.Errorf("timer fired at %v after %v", now, last)
+			}
+			last = now
+			fired++
+		})
+		if i%3 == 0 {
+			timer.Stop()
+		}
+	}
+	c.AdvanceTo(epoch.Add(2 * time.Second))
+	want := n - (n+2)/3
+	if fired != want {
+		t.Fatalf("%d timers fired, want %d", fired, want)
+	}
+	if _, ok := c.NextTimer(); ok {
+		t.Fatal("timers still pending after full advance")
+	}
+}

@@ -197,6 +197,13 @@ type Engine struct {
 	// snaps holds the periodic state snapshots AdoptSuffix adopts from
 	// (ascending height, at most snapshotKeep entries).
 	snaps []snapshot
+
+	// Per-round scratch reused across Mine calls so the mining hot path
+	// stays allocation-flat as the cluster scales; each buffer is reset,
+	// never shared outside the round.
+	mineStates    []alloc.NodeState
+	mineAnnounced map[meta.DataID]bool
+	poolScratch   []*meta.Item
 }
 
 // New builds an engine. The genesis block is adopted immediately.
@@ -303,7 +310,7 @@ func (e *Engine) AddLocal(it *meta.Item) { e.pool[it.ID] = it }
 // poolItems returns the unexpired, not-yet-on-chain pool items in
 // deterministic order (by ID bytes), pruning the rest.
 func (e *Engine) poolItems(now time.Duration) []*meta.Item {
-	items := make([]*meta.Item, 0, len(e.pool))
+	items := e.poolScratch[:0]
 	for id, it := range e.pool {
 		if it.Expired(now) || e.inChain[id] {
 			delete(e.pool, id)
@@ -311,6 +318,7 @@ func (e *Engine) poolItems(now time.Duration) []*meta.Item {
 		}
 		items = append(items, it)
 	}
+	e.poolScratch = items
 	for i := 1; i < len(items); i++ {
 		for j := i; j > 0 && lessID(items[j].ID, items[j-1].ID); j-- {
 			items[j], items[j-1] = items[j-1], items[j]
@@ -487,7 +495,8 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 
 	// Scratch storage view: assignments within this block must see each
 	// other so one block doesn't dump everything on the same nodes.
-	states := e.view.NodeStates(now)
+	e.mineStates = e.view.NodeStatesInto(e.mineStates, now)
+	states := e.mineStates
 	// Placement plans on home positions: the RDC (eq. 2) covers short-term
 	// movement through the mobility-range terms, so the plan stays valid
 	// while the live topology wobbles.
@@ -495,7 +504,11 @@ func (e *Engine) Mine(r Round) (*MineResult, error) {
 
 	// announced collects every ID packed into this block so migration and
 	// repair never re-announce an item the block already carries.
-	announced := make(map[meta.DataID]bool)
+	if e.mineAnnounced == nil {
+		e.mineAnnounced = make(map[meta.DataID]bool)
+	}
+	clear(e.mineAnnounced)
+	announced := e.mineAnnounced
 	for _, it := range e.poolItems(now) {
 		storing := e.placeItem(topo, states)
 		if len(storing) == 0 {

@@ -209,16 +209,26 @@ func (v *StorageView) Used(i int, now time.Duration) int {
 
 // NodeStates builds the planner input for the current moment.
 func (v *StorageView) NodeStates(now time.Duration) []alloc.NodeState {
+	return v.NodeStatesInto(nil, now)
+}
+
+// NodeStatesInto is NodeStates writing into dst (grown as needed), so
+// per-round callers can reuse one buffer instead of allocating a fresh
+// slice every mining round.
+func (v *StorageView) NodeStatesInto(dst []alloc.NodeState, now time.Duration) []alloc.NodeState {
 	v.expire(now)
-	out := make([]alloc.NodeState, len(v.dataLive))
-	for i := range out {
-		out[i] = alloc.NodeState{
+	if cap(dst) < len(v.dataLive) {
+		dst = make([]alloc.NodeState, len(v.dataLive))
+	}
+	dst = dst[:len(v.dataLive)]
+	for i := range dst {
+		dst[i] = alloc.NodeState{
 			Used:          v.Used(i, now),
 			Capacity:      v.capacity,
 			MobilityRange: v.mobility[i],
 		}
 	}
-	return out
+	return dst
 }
 
 // RecentDepth returns node i's recent-cache allowance.

@@ -132,3 +132,26 @@ func TestStorageViewRebuild(t *testing.T) {
 		t.Fatalf("Used(0) after reset = %d, want 0", got)
 	}
 }
+
+// TestNodeStatesIntoHotPathAllocs is the mining hot path's alloc gate: refilling
+// a warm buffer must not allocate, and the result must match a fresh
+// NodeStates call. Mine reuses one such buffer per round, which keeps
+// per-round garbage flat as clusters scale to hundreds of nodes.
+func TestNodeStatesIntoHotPathAllocs(t *testing.T) {
+	v := NewStorageView(256, 250, 30, 1, 0)
+	buf := v.NodeStatesInto(nil, 0)
+	if got := testing.AllocsPerRun(1000, func() {
+		buf = v.NodeStatesInto(buf, 0)
+	}); got != 0 {
+		t.Fatalf("NodeStatesInto with warm buffer allocates %.2f/op, want 0", got)
+	}
+	fresh := v.NodeStates(0)
+	if len(fresh) != len(buf) {
+		t.Fatalf("lengths differ: %d vs %d", len(fresh), len(buf))
+	}
+	for i := range fresh {
+		if fresh[i] != buf[i] {
+			t.Fatalf("state %d differs: %+v vs %+v", i, fresh[i], buf[i])
+		}
+	}
+}

@@ -44,6 +44,16 @@ const (
 	defaultRepairSuspect    = 6 * time.Second
 	defaultRepairHysteresis = 10 * time.Second
 	defaultRepairMaxPacked  = 4
+
+	// maxTargetedAttempts is how many failed targeted fetches a task gets
+	// before the driver stops grinding through the assigned-provider
+	// rotation and broadcasts instead. Targeted fetches fail silently when
+	// a provider is alive but lacks the bytes — after churn takes every
+	// replica of an item down at once, the restarted providers only ever
+	// ask each other, while the producer and past requesters (outside the
+	// assigned set, hence never candidates) still hold the content the
+	// broadcast reaches.
+	maxTargetedAttempts = 2
 )
 
 // repairDriver is the per-node repair state; nil when repair is disabled
@@ -179,6 +189,21 @@ func (n *Node) repairTick() {
 	}
 
 	rd.idx.ExpireUntil(nowD)
+
+	// Self-audit: any live item the chain assigns to this node whose bytes
+	// the local store lacks goes (back) on the queue. The usual fetch hooks
+	// fire on chain adoption (onAppend, suffix sync), which misses two
+	// cases: a node that restarted with its chain already current adopts
+	// nothing, and a queue task whose every provider stayed unreachable
+	// past MaxAttempts is forgotten after its one broadcast fallback. The
+	// audit makes both reconverge at probe cadence; Queue.Add dedups, so a
+	// pending or in-flight task is never duplicated.
+	for _, id := range rd.idx.Items(n.selfIdx) {
+		if !n.store.HasData(id) && rd.queue.Add(id, nowD) {
+			n.tel.repairEnqueued.Inc()
+		}
+	}
+
 	fallbacks = append(fallbacks, rd.queue.Expire(nowD)...)
 
 	// Pump: launch eligible fetches while worker slots and byte budget last.
@@ -189,6 +214,14 @@ func (n *Node) repairTick() {
 		}
 		if n.store.HasData(id) {
 			rd.queue.Done(id, nowD) // arrived by another path
+			continue
+		}
+		if rd.queue.Attempts(id) >= maxTargetedAttempts {
+			// The assigned providers had their chances; hand the item to
+			// the broadcast path, which any holder can answer. The
+			// self-audit above re-queues it next tick if nothing comes.
+			rd.queue.Done(id, nowD)
+			fallbacks = append(fallbacks, id)
 			continue
 		}
 		addr := n.pickProviderLocked(id, nowD)

@@ -87,10 +87,22 @@ func TestLiveRepairReReplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Wait for every assigned node to actually hold the bytes, not just
+	// for the placement to land: killing the victim while it is still the
+	// sole holder (the producer, before its replicas' initial fetches
+	// complete) destroys the only copy, which no repair protocol can undo.
 	var storing []int
 	waitFor(t, 30*time.Second, "item placed below the full mesh", func() bool {
 		storing = assignment(nodes[0], it.ID)
-		return len(storing) > 0 && len(storing) < n
+		if len(storing) == 0 || len(storing) >= n {
+			return false
+		}
+		for _, sn := range storing {
+			if !nodes[sn].HasData(it.ID) {
+				return false
+			}
+		}
+		return true
 	})
 
 	victim := storing[0]

@@ -184,7 +184,14 @@ type Network struct {
 	queue     messageQueue
 	msgSeq    uint64
 	evSeq     uint64
+	recording bool
+	digest    uint64
 	events    []Event
+	// free recycles message structs between deliveries; lastDelivered is
+	// the message handed to a handler by the previous DeliverNext, safe to
+	// recycle once the next delivery starts.
+	free          []*message
+	lastDelivered *message
 }
 
 // New creates a network whose fault decisions derive from seed. now is the
@@ -203,7 +210,59 @@ func New(seed int64, now func() time.Time) *Network {
 		blocked:   make(map[linkKey]bool),
 		lastDue:   make(map[linkKey]time.Time),
 		endpoints: make(map[string]*Endpoint),
+		recording: true,
+		digest:    fnvOffset,
 	}
+}
+
+// SetRecording toggles retention of the event log. The running digest
+// (EventDigest) keeps folding every event either way, so determinism
+// checks still work with recording off — which is how large clusters
+// (256+ nodes, millions of events) avoid unbounded log memory.
+func (n *Network) SetRecording(on bool) {
+	n.mu.Lock()
+	n.recording = on
+	n.mu.Unlock()
+}
+
+// FNV-1a 64-bit, folded inline so digesting an event allocates nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xFF
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func fnvMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// EventDigest returns the FNV-1a digest of every event logged so far
+// (including ones not retained while recording was off). Two runs with
+// equal digests and equal event counts saw the same event sequence.
+func (n *Network) EventDigest() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.digest
+}
+
+// EventCount returns how many events have been logged so far, retained
+// or not.
+func (n *Network) EventCount() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.evSeq
 }
 
 // SetMetrics installs the network's fault counters (see NewMetrics); nil
@@ -313,14 +372,44 @@ func (n *Network) dropCrossingLocked(reason string) {
 	for _, m := range dropped {
 		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: reason})
+		n.putMsgLocked(m)
 	}
+}
+
+// getMsgLocked and putMsgLocked recycle message structs through a free
+// list: at 256 nodes a single broadcast round puts tens of thousands of
+// messages in flight, and without recycling every one is garbage the
+// moment it is delivered.
+func (n *Network) getMsgLocked() *message {
+	if k := len(n.free); k > 0 {
+		m := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return m
+	}
+	return &message{}
+}
+
+func (n *Network) putMsgLocked(m *message) {
+	*m = message{}
+	n.free = append(n.free, m)
 }
 
 func (n *Network) logLocked(e Event) {
 	n.evSeq++
 	e.Seq = n.evSeq
 	e.At = n.nowFn().Sub(n.start)
-	n.events = append(n.events, e)
+	h := fnvMix(n.digest, e.Seq)
+	h = fnvMix(h, uint64(e.At))
+	h = fnvMixString(h, string(e.Kind))
+	h = fnvMixString(h, e.From)
+	h = fnvMixString(h, e.To)
+	h = fnvMix(h, uint64(e.Frame)<<32|uint64(uint32(e.Size)))
+	h = fnvMixString(h, e.Note)
+	n.digest = h
+	if n.recording {
+		n.events = append(n.events, e)
+	}
 }
 
 // Events returns a copy of the event log so far.
@@ -364,6 +453,12 @@ func (n *Network) NextDue() (time.Time, bool) {
 // endpoints are consumed and logged as drops.
 func (n *Network) DeliverNext() bool {
 	n.mu.Lock()
+	if n.lastDelivered != nil {
+		// The previous delivery's handler has returned; its message struct
+		// can go back on the free list now.
+		n.putMsgLocked(n.lastDelivered)
+		n.lastDelivered = nil
+	}
 	if len(n.queue) == 0 {
 		n.mu.Unlock()
 		return false
@@ -372,6 +467,7 @@ func (n *Network) DeliverNext() bool {
 	if n.blocked[linkKey{m.from, m.to}] {
 		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "cut"})
+		n.putMsgLocked(m)
 		n.mu.Unlock()
 		return true
 	}
@@ -379,20 +475,29 @@ func (n *Network) DeliverNext() bool {
 	if !ok || dst.closed || !dst.peers[m.from] {
 		n.metrics.PartitionKills.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload), Note: "no connection"})
+		n.putMsgLocked(m)
 		n.mu.Unlock()
 		return true
 	}
 	n.metrics.Delivered.Inc()
 	n.logLocked(Event{Kind: EvDeliver, From: m.from, To: m.to, Frame: m.frame, Size: len(m.payload)})
 	handler := dst.handler
+	from, frame, payload := m.from, m.frame, m.payload
+	n.lastDelivered = m
 	n.mu.Unlock()
 	// Handler runs outside the lock: it may send, connect or partition.
-	handler.HandleFrame(m.from, m.frame, m.payload)
+	// Payloads are read-only — broadcast fans one buffer out to every
+	// recipient, so a handler mutating it would corrupt its siblings.
+	handler.HandleFrame(from, frame, payload)
 	return true
 }
 
-// enqueueLocked applies the link's fault model to one send.
-func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
+// enqueueLocked applies the link's fault model to one send. When owned
+// is true the payload is already detached from the caller's buffer (a
+// broadcast's shared copy) and is enqueued as-is; otherwise it is copied
+// once before entering the queue. Either way a duplicate delivery shares
+// the in-queue buffer — delivered payloads are read-only by contract.
+func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte, owned bool) {
 	n.metrics.Sends.Inc()
 	n.logLocked(Event{Kind: EvSend, From: from, To: to, Frame: frame, Size: len(payload)})
 	key := linkKey{from, to}
@@ -411,6 +516,9 @@ func (n *Network) enqueueLocked(from, to string, frame byte, payload []byte) {
 		n.metrics.Drops.Inc()
 		n.logLocked(Event{Kind: EvDrop, From: from, To: to, Frame: frame, Size: len(payload), Note: "loss"})
 		return
+	}
+	if !owned {
+		payload = append([]byte(nil), payload...)
 	}
 	n.scheduleLocked(key, frame, payload, p)
 	if p.Duplicate > 0 && n.rng.Float64() < p.Duplicate {
@@ -433,14 +541,16 @@ func (n *Network) scheduleLocked(key linkKey, frame byte, payload []byte, p Para
 		n.lastDue[key] = due
 	}
 	n.msgSeq++
-	heap.Push(&n.queue, &message{
+	m := n.getMsgLocked()
+	*m = message{
 		seq:     n.msgSeq,
 		from:    key.from,
 		to:      key.to,
 		frame:   frame,
-		payload: append([]byte(nil), payload...),
+		payload: payload,
 		due:     due,
-	})
+	}
+	heap.Push(&n.queue, m)
 }
 
 // Listen registers a new endpoint under addr. The address must not be in
@@ -467,6 +577,9 @@ type Endpoint struct {
 	handler p2p.Handler
 	peers   map[string]bool
 	closed  bool
+	// scratch is the reusable sorted-peer buffer for Broadcast; Peers
+	// still returns fresh copies.
+	scratch []string
 }
 
 var _ p2p.Transport = (*Endpoint)(nil)
@@ -531,13 +644,16 @@ func (e *Endpoint) Send(peerAddr string, frameType byte, payload []byte) error {
 		n.logLocked(Event{Kind: EvDisconnect, From: e.addr, To: peerAddr, Note: "send failed"})
 		return fmt.Errorf("memnet: peer %s gone", peerAddr)
 	}
-	n.enqueueLocked(e.addr, peerAddr, frameType, payload)
+	n.enqueueLocked(e.addr, peerAddr, frameType, payload, false)
 	return nil
 }
 
 // Broadcast enqueues one frame for every connected peer, in sorted
 // address order so fault sampling is deterministic. Dead peers count as
-// failed and are disconnected.
+// failed and are disconnected. The payload is copied once and the copy
+// shared by every recipient (and duplicate), which is what keeps a
+// 256-node broadcast O(1) in copies instead of O(peers) — handlers must
+// treat delivered payloads as read-only.
 func (e *Endpoint) Broadcast(frameType byte, payload []byte) (delivered, failed int) {
 	n := e.net
 	n.mu.Lock()
@@ -545,14 +661,20 @@ func (e *Endpoint) Broadcast(frameType byte, payload []byte) (delivered, failed 
 	if e.closed {
 		return 0, 0
 	}
-	for _, addr := range e.sortedPeersLocked() {
+	e.scratch = e.scratch[:0]
+	for a := range e.peers {
+		e.scratch = append(e.scratch, a)
+	}
+	sort.Strings(e.scratch)
+	shared := append([]byte(nil), payload...)
+	for _, addr := range e.scratch {
 		if dst, ok := n.endpoints[addr]; !ok || dst.closed {
 			delete(e.peers, addr)
 			n.logLocked(Event{Kind: EvDisconnect, From: e.addr, To: addr, Note: "send failed"})
 			failed++
 			continue
 		}
-		n.enqueueLocked(e.addr, addr, frameType, payload)
+		n.enqueueLocked(e.addr, addr, frameType, shared, true)
 		delivered++
 	}
 	return delivered, failed

@@ -13,12 +13,26 @@ type QueueConfig struct {
 	// MaxAttempts is how many launches/deferrals a task gets before the
 	// queue gives it up to the caller's fallback path (default 5).
 	MaxAttempts int
-	// Backoff is the base retry delay; attempt k waits Backoff<<k
-	// (default 2s).
+	// Backoff is the base retry delay; attempt k waits Backoff<<k,
+	// capped at Backoff<<maxShift (default 2s).
 	Backoff time.Duration
 	// Timeout is the per-fetch response deadline, also doubled per
-	// attempt (default 10s).
+	// attempt up to the same cap (default 10s).
 	Timeout time.Duration
+}
+
+// maxShift caps the exponential growth of per-attempt backoff and timeout
+// at 8×. Unbounded doubling lets a few silent failures (a provider that is
+// reachable but lacks the bytes never answers) push a single retry past
+// the horizon of any realistic healing window, wedging the task for the
+// caller's fallback path.
+const maxShift = 3
+
+func shift(attempts int) int {
+	if attempts > maxShift {
+		return maxShift
+	}
+	return attempts
 }
 
 // task is one queued repair fetch.
@@ -110,7 +124,7 @@ func (q *Queue) Launch(id meta.DataID, now time.Duration) {
 	}
 	t.inflight = true
 	t.launched = now
-	t.deadline = now + q.cfg.Timeout<<t.attempts
+	t.deadline = now + q.cfg.Timeout<<shift(t.attempts)
 	q.inflight++
 }
 
@@ -168,7 +182,7 @@ func (q *Queue) Expire(now time.Duration) (gaveUp []meta.DataID) {
 			gaveUp = append(gaveUp, id)
 			continue
 		}
-		t.notBefore = now + q.cfg.Backoff<<t.attempts
+		t.notBefore = now + q.cfg.Backoff<<shift(t.attempts)
 	}
 	return gaveUp
 }

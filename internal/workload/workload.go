@@ -3,14 +3,17 @@
 // minute, each produced by a random node and requested by consumers drawn
 // from the requester pool (10% of nodes), per Section VI-A.
 //
-// Traces are materialized up front so experiments can replay the exact
-// same workload across configurations (the Fig. 5 comparison runs optimal
-// and random placement against identical traces when wired through
-// core.Config.Trace).
+// Two generation modes exist. The legacy Generate materializes a trace up
+// front so experiments can replay the exact same workload across
+// configurations (the Fig. 5 comparison runs optimal and random placement
+// against identical traces via core.Config.Trace). The open-loop Stream
+// (stream.go) produces the same events lazily with O(1) memory plus
+// arrival-process, popularity-skew, and user-multiplexing extensions;
+// Generate is a thin adapter over it and is pinned bit-identical to the
+// original algorithm by a differential test.
 package workload
 
 import (
-	"errors"
 	"math/rand"
 	"sort"
 	"time"
@@ -23,6 +26,9 @@ type Event struct {
 	At time.Duration
 	// Producer is the producing node ID.
 	Producer int
+	// User is the logical producing user, or -1 when the generator runs
+	// without a user model (legacy traces).
+	User int64
 	// Type is the data type string ("AirQuality/PM2.5", ...).
 	Type string
 	// Requesters are the consumer node IDs assigned to this item.
@@ -46,7 +52,9 @@ func DefaultTypes() []string {
 	}
 }
 
-// Config parametrizes trace generation.
+// Config parametrizes legacy materialized trace generation: constant-rate
+// Poisson arrivals, uniform producers, round-robin types. StreamConfig is
+// the superset used by the open-loop engine.
 type Config struct {
 	// Duration is the trace horizon.
 	Duration time.Duration
@@ -64,44 +72,38 @@ type Config struct {
 	Seed int64
 }
 
-// Generate materializes a trace.
+// Stream lifts the legacy configuration into the open-loop engine's
+// parameter space; the resulting stream replays the legacy RNG sequence
+// exactly.
+func (c Config) Stream() StreamConfig {
+	return StreamConfig{
+		Duration:        c.Duration,
+		RatePerMin:      c.RatePerMin,
+		NumNodes:        c.NumNodes,
+		Requesters:      c.Requesters,
+		RequestsPerItem: c.RequestsPerItem,
+		Types:           c.Types,
+		Seed:            c.Seed,
+	}
+}
+
+// Validate checks the configuration, including the requester-sampling
+// edge cases (empty pool or RequestsPerItem exceeding it) that used to
+// surface only at generation time.
+func (c Config) Validate() error {
+	sc := c.Stream()
+	return sc.Validate()
+}
+
+// Generate materializes a trace. It is the legacy adapter over Stream and
+// produces the identical event sequence the original materializing
+// generator did for the same Config (see TestStreamMatchesLegacy).
 func Generate(cfg Config) (*Trace, error) {
-	if cfg.NumNodes < 1 {
-		return nil, errors.New("workload: NumNodes must be positive")
+	s, err := NewStream(cfg.Stream())
+	if err != nil {
+		return nil, err
 	}
-	if cfg.RatePerMin < 0 {
-		return nil, errors.New("workload: negative rate")
-	}
-	types := cfg.Types
-	if len(types) == 0 {
-		types = DefaultTypes()
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	tr := &Trace{}
-	if cfg.RatePerMin == 0 {
-		return tr, nil
-	}
-	meanGap := time.Duration(60.0 / cfg.RatePerMin * float64(time.Second))
-	at := time.Duration(0)
-	seq := 0
-	for {
-		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
-		if gap < time.Millisecond {
-			gap = time.Millisecond
-		}
-		at += gap
-		if at > cfg.Duration {
-			return tr, nil
-		}
-		producer := rng.Intn(cfg.NumNodes)
-		tr.Events = append(tr.Events, Event{
-			At:         at,
-			Producer:   producer,
-			Type:       types[seq%len(types)],
-			Requesters: drawRequesters(rng, cfg.Requesters, producer, cfg.RequestsPerItem),
-		})
-		seq++
-	}
+	return s.Drain(), nil
 }
 
 // drawRequesters picks up to k distinct requesters, excluding the producer.
