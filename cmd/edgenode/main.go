@@ -59,8 +59,20 @@ func main() {
 		repairWrk  = flag.Int("repair-workers", 0, "concurrent background re-replication fetches (0 = repair disabled)")
 		repairRate = flag.Int("repair-rate", 0, "repair traffic budget in bytes/sec (0 = default 4096)")
 		repairHyst = flag.Duration("repair-hysteresis", 0, "extra silence before a suspect peer is declared dead (0 = default 10s)")
+		gossip     = flag.Bool("gossip", true, "inv-style gossip block relay; false = legacy full-mesh block push")
+		gossipFan  = flag.Int("gossip-fanout", 0, "peers each block announce is relayed to (0 = default 6)")
 	)
 	flag.Parse()
+
+	gossipFanout := *gossipFan
+	if !*gossip {
+		if *gossipFan > 0 {
+			log.Fatal("-gossip-fanout set but -gossip=false")
+		}
+		gossipFanout = -1 // legacy full-mesh push
+	} else if *gossipFan < 0 {
+		log.Fatalf("-gossip-fanout %d invalid: want >= 0 (or -gossip=false to disable)", *gossipFan)
+	}
 
 	if *index < 0 || *index >= *rosterSize {
 		log.Fatalf("index %d out of roster [0,%d)", *index, *rosterSize)
@@ -117,6 +129,7 @@ func main() {
 		SyncTimeout:   *syncTmo,
 		VerifyWorkers: *verifyWrk,
 		SnapshotEvery: *snapEvery,
+		GossipFanout:  gossipFanout,
 
 		RepairWorkers:    *repairWrk,
 		RepairRate:       *repairRate,

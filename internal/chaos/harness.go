@@ -69,6 +69,10 @@ type Options struct {
 	// = livenode defaults).
 	RepairSuspectAfter time.Duration
 	RepairHysteresis   time.Duration
+	// GossipFanout is passed through to livenode.Config.GossipFanout:
+	// 0 = gossip with the default fanout, >0 = that fanout, negative =
+	// legacy full-mesh block push (DESIGN.md §13).
+	GossipFanout int
 }
 
 // Cluster is N live nodes on one fault-injecting in-memory network and one
@@ -182,6 +186,7 @@ func (c *Cluster) startNode(i int) error {
 		CheckpointEvery: c.opts.CheckpointEvery,
 		SyncBatchSize:   c.opts.SyncBatchSize,
 		SnapshotEvery:   c.opts.SnapshotEvery,
+		GossipFanout:    c.opts.GossipFanout,
 		Telemetry:       c.nodeRegs[i],
 
 		RepairWorkers:      c.opts.RepairWorkers,

@@ -294,7 +294,7 @@ func TestChaosScale256OpenLoop(t *testing.T) {
 //
 //	go test -bench BenchmarkScalingCurve -benchtime 1x ./internal/chaos
 func BenchmarkScalingCurve(b *testing.B) {
-	for _, n := range []int{64, 128, 256} {
+	for _, n := range []int{64, 128, 256, 512} {
 		for _, rate := range []float64{30, 120} {
 			b.Run(fmt.Sprintf("n=%d/rate=%.0f", n, rate), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

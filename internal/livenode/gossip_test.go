@@ -1,0 +1,386 @@
+package livenode
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/p2p"
+)
+
+// newGossipTestNode is newSyncTestNode on a shared fake clock: gossip
+// delivers full blocks straight into ReceiveBlock, whose future-timestamp
+// check needs the receiver's clock to match the miner's — exactly the
+// real-cluster shape, where every node reads one wall clock.
+func newGossipTestNode(t testing.TB, fn *fakeNet, clk *fakeClock, name string, idx int, epoch time.Time, mutate func(cfg *Config)) *syncTestNode {
+	t.Helper()
+	n := newSyncTestNode(t, fn, name, idx, epoch, func(cfg *Config) {
+		cfg.Clock = clk
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	n.clock = clk
+	return n
+}
+
+// stopMining disarms the node's mining timer so a shared-clock advance
+// (driving another node's rounds) cannot make this one mine competing
+// blocks mid-test. Adopting a block re-arms it.
+func (n *syncTestNode) stopMining() {
+	n.mu.Lock()
+	if n.mineTimer != nil {
+		n.mineTimer.Stop()
+		n.mineTimer = nil
+	}
+	n.mu.Unlock()
+}
+
+// link wires two nodes at the transport level only — unlike
+// livenode.Connect it sends no sync locator, so tests control exactly
+// which frames flow.
+func link(t *testing.T, nodes ...*syncTestNode) {
+	t.Helper()
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			if err := a.Node.net.Connect(b.Node.net.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Node.net.Connect(a.Node.net.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGossipAnnounceFetchAdopt(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	clk := newFakeClock(epoch)
+	b := newGossipTestNode(t, fn, clk, "b", 1, epoch, nil)
+	a := newGossipTestNode(t, fn, clk, "a", 0, epoch, nil)
+	a.stopMining()
+	b.mineBlocks(t, 1)
+	link(t, a, b)
+
+	tip := b.Tip()
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(tip.Index, tip.Hash))
+	// fakeNet delivers synchronously: the GetBlock round trip and the
+	// adoption all completed inside handleFrame.
+	if got := a.Height(); got != 1 {
+		t.Fatalf("height after announce/fetch = %d, want 1", got)
+	}
+	if a.Tip().Hash != tip.Hash {
+		t.Fatal("adopted block differs from announced one")
+	}
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != 1 {
+		t.Errorf("gossip.fetches_sent = %d, want 1", v)
+	}
+	if v := counter(b.reg, "livenode.gossip.fetches_served"); v != 1 {
+		t.Errorf("gossip.fetches_served = %d, want 1", v)
+	}
+	if v := counter(a.reg, "livenode.sync.rounds"); v != 0 {
+		t.Errorf("sync.rounds = %d, want 0 (gossip fetch, no sync)", v)
+	}
+	// The announce left block-propagation wire-byte evidence on both ends.
+	if v := counter(a.reg, "livenode.wire.block_bytes"); v == 0 {
+		t.Error("wire.block_bytes = 0 on the fetching side")
+	}
+	if v := counter(b.reg, "livenode.wire.block_bytes"); v == 0 {
+		t.Error("wire.block_bytes = 0 on the serving side")
+	}
+}
+
+// TestGossipReannounceAdoptedSuppressed is the ISSUE satellite: a
+// re-announced, already-adopted hash must trigger neither a fetch nor a
+// sync round — the announce-path twin of the chain.ErrDuplicate guard.
+func TestGossipReannounceAdoptedSuppressed(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	clk := newFakeClock(epoch)
+	b := newGossipTestNode(t, fn, clk, "b", 1, epoch, nil)
+	a := newGossipTestNode(t, fn, clk, "a", 0, epoch, nil)
+	a.stopMining()
+	b.mineBlocks(t, 1)
+	link(t, a, b)
+
+	tip := b.Tip()
+	ann := encodeAnnounce(tip.Index, tip.Hash)
+	a.handleFrame("b", p2p.FrameBlockAnnounce, ann)
+	if a.Height() != 1 {
+		t.Fatalf("height = %d, want 1", a.Height())
+	}
+	fetches := counter(a.reg, "livenode.gossip.fetches_sent")
+	syncRounds := counter(a.reg, "livenode.sync.rounds")
+	legacyRounds := counter(a.reg, "livenode.chainsync.rounds")
+
+	for i := 0; i < 3; i++ {
+		a.handleFrame("b", p2p.FrameBlockAnnounce, ann)
+	}
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != fetches {
+		t.Errorf("re-announce sent a fetch: fetches_sent %d -> %d", fetches, v)
+	}
+	if v := counter(a.reg, "livenode.sync.rounds"); v != syncRounds {
+		t.Errorf("re-announce opened a sync round: sync.rounds %d -> %d", syncRounds, v)
+	}
+	if v := counter(a.reg, "livenode.chainsync.rounds"); v != legacyRounds {
+		t.Errorf("re-announce opened a legacy exchange: chainsync.rounds %d -> %d", legacyRounds, v)
+	}
+	if v := counter(a.reg, "livenode.gossip.dup_suppressed"); v != 3 {
+		t.Errorf("gossip.dup_suppressed = %d, want 3", v)
+	}
+}
+
+func TestGossipRelayOnAdoptExcludesSender(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	clk := newFakeClock(epoch)
+	b := newGossipTestNode(t, fn, clk, "b", 1, epoch, nil)
+	a := newGossipTestNode(t, fn, clk, "a", 0, epoch, nil)
+	c := newGossipTestNode(t, fn, clk, "c", 2, epoch, nil)
+	a.stopMining()
+	c.stopMining()
+	b.mineBlocks(t, 1)
+	link(t, a, b, c)
+
+	// Push the body straight to a, as if a had fetched it: a adopts and
+	// must relay the announce to c (never back to b). c lacks the hash,
+	// fetches from a, adopts, and relays onward to b — which already holds
+	// the block and suppresses.
+	blk := b.Tip()
+	a.handleFrame("b", p2p.FrameBlock, blk.Encode())
+	if a.Height() != 1 || c.Height() != 1 {
+		t.Fatalf("heights a=%d c=%d, want 1/1", a.Height(), c.Height())
+	}
+	if v := counter(a.reg, "livenode.gossip.relays"); v != 1 {
+		t.Errorf("a gossip.relays = %d, want 1", v)
+	}
+	if v := counter(c.reg, "livenode.gossip.fetches_sent"); v != 1 {
+		t.Errorf("c gossip.fetches_sent = %d, want 1", v)
+	}
+	if v := counter(a.reg, "livenode.gossip.fetches_served"); v != 1 {
+		t.Errorf("a gossip.fetches_served = %d, want 1", v)
+	}
+	// b never saw a GetBlock: the relay excluded the sender, and b's own
+	// copy suppressed c's onward announce.
+	if v := counter(b.reg, "livenode.gossip.fetches_served"); v != 0 {
+		t.Errorf("b gossip.fetches_served = %d, want 0 (announce must not return to sender)", v)
+	}
+	if v := counter(b.reg, "livenode.gossip.dup_suppressed"); v == 0 {
+		t.Error("b gossip.dup_suppressed = 0, want > 0 (c's onward relay)")
+	}
+}
+
+func TestGossipFetchTimeoutFallsBackToLocator(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+	b.mineBlocks(t, 1)
+	link(t, a, b)
+
+	// The announcer never answers fetches; the locator path must heal.
+	fn.setDrop(func(from, to string, ft byte) bool { return ft == p2p.FrameGetBlock })
+	tip := b.Tip()
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(tip.Index, tip.Hash))
+	if a.Height() != 0 {
+		t.Fatalf("height = %d before timeout, want 0", a.Height())
+	}
+	a.clock.Advance(time.Second) // cfg.SyncTimeout
+	if v := counter(a.reg, "livenode.gossip.fetch_timeouts"); v != 1 {
+		t.Fatalf("gossip.fetch_timeouts = %d, want 1", v)
+	}
+	if v := counter(a.reg, "livenode.sync.rounds"); v != 1 {
+		t.Fatalf("sync.rounds = %d, want 1 (locator fallback)", v)
+	}
+	if a.Height() != 1 {
+		t.Fatalf("height after locator fallback = %d, want 1", a.Height())
+	}
+	// A re-announce of the hash the locator path already covered must not
+	// restart a fetch (it is adopted now, but the seen-LRU covered the
+	// window in between).
+	fetches := counter(a.reg, "livenode.gossip.fetches_sent")
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(tip.Index, tip.Hash))
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != fetches {
+		t.Errorf("re-announce after timeout refetched: %d -> %d", fetches, v)
+	}
+}
+
+func TestGossipStaleAndPendingSuppression(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	a.mineBlocks(t, 2)
+	link(t, a, b)
+	fn.setDrop(func(from, to string, ft byte) bool { return ft == p2p.FrameGetBlock })
+
+	// An announce at or below our tip cannot extend the longest chain.
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(1, block.Hash{0xaa}))
+	if v := counter(a.reg, "livenode.gossip.stale_suppressed"); v != 1 {
+		t.Errorf("gossip.stale_suppressed = %d, want 1", v)
+	}
+	// …and its hash lands in the seen-LRU: a repeat is a dup.
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(1, block.Hash{0xaa}))
+	if v := counter(a.reg, "livenode.gossip.dup_suppressed"); v != 1 {
+		t.Errorf("gossip.dup_suppressed = %d after stale repeat, want 1", v)
+	}
+
+	// While a fetch is pending, repeats of the same hash are suppressed.
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(3, block.Hash{0xbb}))
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != 1 {
+		t.Fatalf("gossip.fetches_sent = %d, want 1", v)
+	}
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(3, block.Hash{0xbb}))
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != 1 {
+		t.Errorf("pending hash refetched")
+	}
+	if v := counter(a.reg, "livenode.gossip.dup_suppressed"); v != 2 {
+		t.Errorf("gossip.dup_suppressed = %d, want 2", v)
+	}
+}
+
+// TestGossipPendingOverflowDegradesToSync pins the fetch-table bound: past
+// maxPendingFetch outstanding fetches the node is clearly far behind, and
+// further announces open a batched sync round instead.
+func TestGossipPendingOverflowDegradesToSync(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, nil)
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	link(t, a, b)
+	fn.setDrop(func(from, to string, ft byte) bool {
+		return ft == p2p.FrameGetBlock || ft == p2p.FrameSyncLocator
+	})
+
+	for i := 0; i < maxPendingFetch; i++ {
+		var h block.Hash
+		h[0], h[1] = byte(i), byte(i>>8)
+		h[31] = 1 // never the zero hash
+		a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(uint64(100+i), h))
+	}
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != maxPendingFetch {
+		t.Fatalf("gossip.fetches_sent = %d, want %d", v, maxPendingFetch)
+	}
+	if v := counter(a.reg, "livenode.sync.rounds"); v != 0 {
+		t.Fatalf("sync.rounds = %d while table filling, want 0", v)
+	}
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(500, block.Hash{0xff}))
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != maxPendingFetch {
+		t.Errorf("overflow announce still fetched: %d", v)
+	}
+	if v := counter(a.reg, "livenode.sync.rounds"); v != 1 {
+		t.Errorf("sync.rounds = %d after overflow, want 1", v)
+	}
+}
+
+func TestGossipDisabledIgnoresAnnouncesAndPushesFullBlocks(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	legacy := func(cfg *Config) { cfg.GossipFanout = -1 }
+	clk := newFakeClock(epoch)
+	b := newGossipTestNode(t, fn, clk, "b", 1, epoch, legacy)
+	a := newGossipTestNode(t, fn, clk, "a", 0, epoch, legacy)
+	a.stopMining()
+	b.mineBlocks(t, 1)
+	link(t, a, b)
+
+	if a.Node.gossip != nil {
+		t.Fatal("GossipFanout=-1 left gossip state armed")
+	}
+	tip := b.Tip()
+	a.handleFrame("b", p2p.FrameBlockAnnounce, encodeAnnounce(tip.Index, tip.Hash))
+	if a.Height() != 0 {
+		t.Fatalf("legacy node acted on an announce: height %d", a.Height())
+	}
+	if v := counter(a.reg, "livenode.gossip.fetches_sent"); v != 0 {
+		t.Errorf("legacy node sent a gossip fetch")
+	}
+	// The legacy push path still works end to end.
+	a.handleFrame("b", p2p.FrameBlock, tip.Encode())
+	if a.Height() != 1 {
+		t.Fatalf("legacy push not adopted: height %d", a.Height())
+	}
+	if v := counter(a.reg, "livenode.gossip.relays"); v != 0 {
+		t.Errorf("legacy node relayed an announce")
+	}
+}
+
+func TestGossipSamplingBoundedAndExcludes(t *testing.T) {
+	fn := newFakeNet()
+	epoch := time.Unix(1700000000, 0)
+	a := newSyncTestNode(t, fn, "a", 0, epoch, func(cfg *Config) { cfg.GossipFanout = 2 })
+	b := newSyncTestNode(t, fn, "b", 1, epoch, nil)
+	c := newSyncTestNode(t, fn, "c", 2, epoch, nil)
+	link(t, a, b, c)
+
+	for i := 0; i < 32; i++ {
+		got := a.Node.sampleGossipPeers("b")
+		if len(got) != 1 || got[0] != "c" {
+			t.Fatalf("sample excluding b = %v, want [c]", got)
+		}
+		both := a.Node.sampleGossipPeers("")
+		if len(both) != 2 || both[0] == both[1] {
+			t.Fatalf("sample of 2 from {b,c} = %v", both)
+		}
+	}
+}
+
+func TestHashLRU(t *testing.T) {
+	l := newHashLRU(3)
+	h := func(i byte) block.Hash { return block.Hash{i} }
+	for i := byte(1); i <= 3; i++ {
+		l.Add(h(i))
+	}
+	for i := byte(1); i <= 3; i++ {
+		if !l.Has(h(i)) {
+			t.Fatalf("hash %d missing before eviction", i)
+		}
+	}
+	// Re-adding a present hash must not churn the ring…
+	l.Add(h(2))
+	// …so adding a fourth evicts the oldest (1), not 2 or 3.
+	l.Add(h(4))
+	if l.Has(h(1)) {
+		t.Error("oldest hash survived eviction")
+	}
+	for i := byte(2); i <= 4; i++ {
+		if !l.Has(h(i)) {
+			t.Errorf("hash %d evicted early", i)
+		}
+	}
+	l.Add(h(5))
+	l.Add(h(6))
+	if l.Has(h(2)) || l.Has(h(3)) {
+		t.Error("FIFO order violated")
+	}
+	if !l.Has(h(4)) || !l.Has(h(5)) || !l.Has(h(6)) {
+		t.Error("recent hashes evicted")
+	}
+}
+
+func TestGossipCodecs(t *testing.T) {
+	var h block.Hash
+	for i := range h {
+		h[i] = byte(i * 7)
+	}
+	height, got, err := decodeAnnounce(encodeAnnounce(12345, h))
+	if err != nil || height != 12345 || got != h {
+		t.Fatalf("announce round trip: %d %x %v", height, got, err)
+	}
+	gh, err := decodeGetBlock(h[:])
+	if err != nil || gh != h {
+		t.Fatalf("get-block round trip: %x %v", gh, err)
+	}
+	bad := [][]byte{nil, {1, 2, 3}, make([]byte, 39), make([]byte, 41)}
+	for _, p := range bad {
+		if _, _, err := decodeAnnounce(p); err == nil {
+			t.Errorf("decodeAnnounce(%d bytes) accepted", len(p))
+		}
+	}
+	for _, p := range [][]byte{nil, {1}, make([]byte, 31), make([]byte, 33)} {
+		if _, err := decodeGetBlock(p); err == nil {
+			t.Errorf("decodeGetBlock(%d bytes) accepted", len(p))
+		}
+	}
+}

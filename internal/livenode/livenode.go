@@ -94,6 +94,15 @@ type Config struct {
 	// Without it, fetches no peer can answer would pin their tracking
 	// entry forever.
 	FetchTimeout time.Duration
+	// GossipFanout selects the block propagation mode (DESIGN.md §13).
+	// 0 means gossip with the default fanout (6); a positive value gossips
+	// with that fanout; a negative value disables gossip entirely and
+	// restores the legacy full-mesh push (every won block broadcast in
+	// full to every peer). Under gossip, adopting a new block announces
+	// (height, hash) to a seeded random sample of GossipFanout peers and
+	// peers fetch only bodies they lack; an unanswered fetch falls back to
+	// the §10 sync locator path after SyncTimeout.
+	GossipFanout int
 
 	// RepairWorkers enables the self-healing data plane (DESIGN.md §11)
 	// and bounds its concurrent targeted fetches; 0 disables repair
@@ -152,6 +161,7 @@ type Node struct {
 	sync       *syncSession              // at most one incremental sync in flight
 	syncGen    uint64                    // session generation, guards stale timers
 	repair     *repairDriver             // nil when repair is disabled
+	gossip     *gossipState              // nil when gossip is disabled (legacy push)
 
 	tel *nodeMetrics
 }
@@ -192,10 +202,24 @@ type nodeMetrics struct {
 	underReplicated   *telemetry.Gauge     // live items below the replica floor
 	deadNodes         *telemetry.Gauge     // roster nodes the detector counts dead
 
+	// Inv-style gossip block relay (DESIGN.md §13).
+	gossipRelays          *telemetry.Counter // adopted blocks relayed as announces
+	gossipFetchesSent     *telemetry.Counter // FrameGetBlock requests issued
+	gossipFetchesServed   *telemetry.Counter // FrameGetBlock requests answered
+	gossipFetchTimeouts   *telemetry.Counter // fetches that fell back to the locator path
+	gossipDupSuppressed   *telemetry.Counter // announces dropped as already seen/adopted
+	gossipStaleSuppressed *telemetry.Counter // announces at or below our tip
+
 	// Wire-byte split, counted at the sender across all app frames.
+	// Block-propagation bytes (FrameBlock + announce + get-block) are
+	// additionally tallied in wireBlockBytes, and announce frames alone in
+	// wireAnnounceBytes, so gossip-vs-full-mesh gates can compare the
+	// propagation path in isolation.
 	wireConsensusBytes *telemetry.Counter
 	wireDataBytes      *telemetry.Counter
 	wireRepairBytes    *telemetry.Counter
+	wireBlockBytes     *telemetry.Counter
+	wireAnnounceBytes  *telemetry.Counter
 
 	dataFetchExpired *telemetry.Counter // pending fetches dropped by FetchTimeout
 	height           *telemetry.Gauge
@@ -241,9 +265,18 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		underReplicated:   reg.Gauge("livenode.repair.under_replicated"),
 		deadNodes:         reg.Gauge("livenode.repair.dead_nodes"),
 
+		gossipRelays:          reg.Counter("livenode.gossip.relays"),
+		gossipFetchesSent:     reg.Counter("livenode.gossip.fetches_sent"),
+		gossipFetchesServed:   reg.Counter("livenode.gossip.fetches_served"),
+		gossipFetchTimeouts:   reg.Counter("livenode.gossip.fetch_timeouts"),
+		gossipDupSuppressed:   reg.Counter("livenode.gossip.dup_suppressed"),
+		gossipStaleSuppressed: reg.Counter("livenode.gossip.stale_suppressed"),
+
 		wireConsensusBytes: reg.Counter("livenode.wire.consensus_bytes"),
 		wireDataBytes:      reg.Counter("livenode.wire.data_bytes"),
 		wireRepairBytes:    reg.Counter("livenode.wire.repair_bytes"),
+		wireBlockBytes:     reg.Counter("livenode.wire.block_bytes"),
+		wireAnnounceBytes:  reg.Counter("livenode.wire.announce_bytes"),
 	}
 	if reg != nil {
 		m.sGauges = make([]*telemetry.Gauge, rosterN)
@@ -307,6 +340,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = WallClock()
 	}
+	if cfg.GossipFanout == 0 {
+		cfg.GossipFanout = defaultGossipFanout
+	}
 	if cfg.RepairWorkers > 0 {
 		if cfg.RepairRate <= 0 {
 			cfg.RepairRate = defaultRepairRate
@@ -349,6 +385,12 @@ func New(cfg Config) (*Node, error) {
 		onData:     cfg.OnData,
 		fetchStart: make(map[meta.DataID]time.Time),
 		tel:        newNodeMetrics(cfg.Telemetry, len(cfg.Accounts)),
+	}
+	if cfg.GossipFanout > 0 {
+		// Seed the sampling RNG from deployment-shared state plus our own
+		// roster index: deterministic per node, distinct across nodes, so
+		// virtual-clock chaos runs replay bit-identically.
+		n.gossip = newGossipState(cfg.GossipFanout, cfg.GenesisSeed^(int64(selfIdx+1)*0x9E3779B9))
 	}
 
 	// The repair driver must exist before the engine: the engine's
@@ -507,6 +549,7 @@ func (n *Node) Close() error {
 		n.repair.timer.Stop()
 	}
 	n.clearSyncLocked()
+	n.clearGossipLocked()
 	tip := n.eng.Tip()
 	n.mu.Unlock()
 	netErr := n.net.Close()
@@ -532,6 +575,7 @@ func (n *Node) Kill() error {
 		n.repair.timer.Stop()
 	}
 	n.clearSyncLocked()
+	n.clearGossipLocked()
 	n.mu.Unlock()
 	netErr := n.net.Close()
 	if err := n.store.Close(); err != nil && netErr == nil {

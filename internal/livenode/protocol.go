@@ -173,9 +173,16 @@ func (n *Node) mine(r engine.Round) {
 	n.tel.blocksWon.Inc()
 	n.tel.repairReannounced.Add(res.Repairs)
 	n.tel.events.RecordAt(n.clock.Now(), "block_won", fmt.Sprintf("height %d, %d items", blk.Index, len(blk.Items)))
+	gossip := n.gossip != nil
 	n.scheduleMiningLocked()
 	n.mu.Unlock()
-	n.bcast(p2p.FrameBlock, blk.Encode())
+	if gossip {
+		// Inv-style relay (DESIGN.md §13): announce (height, hash) to a
+		// bounded peer sample; bodies travel only to peers that fetch them.
+		n.relayBlock(blk, "")
+	} else {
+		n.bcast(p2p.FrameBlock, blk.Encode())
+	}
 }
 
 // --- frame handling -----------------------------------------------------------
@@ -212,7 +219,14 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		if addErr == nil {
 			n.scheduleMiningLocked()
 		}
+		relay := n.noteGossipBlockLocked(blk, addErr == nil)
 		n.mu.Unlock()
+		if relay {
+			// Relay-on-adopt (DESIGN.md §13): a block we had not seen
+			// before spreads epidemically as an announce to a bounded peer
+			// sample, never back to whoever sent us the body.
+			n.relayBlock(blk, from)
+		}
 		if addErr != nil && !errors.Is(addErr, chain.ErrDuplicate) {
 			// Gap or fork: probe the sender with a block locator and fetch
 			// only the missing suffix (incremental sync, DESIGN.md §10).
@@ -220,6 +234,12 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			// new information and must not trigger a sync round.
 			n.sendSyncLocator(from)
 		}
+
+	case p2p.FrameBlockAnnounce:
+		n.handleBlockAnnounce(from, payload)
+
+	case p2p.FrameGetBlock:
+		n.handleGetBlock(from, payload)
 
 	case p2p.FrameChainRequest:
 		n.mu.Lock()
@@ -258,7 +278,12 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 		if err != nil {
 			return
 		}
-		if last > first+maxSyncBatch-1 {
+		// Saturating clamp: a forged first near MaxUint64 would wrap
+		// first+maxSyncBatch-1 past zero and turn the bound into a no-op.
+		if last < first {
+			return
+		}
+		if last-first >= maxSyncBatch {
 			last = first + maxSyncBatch - 1
 		}
 		n.mu.Lock()

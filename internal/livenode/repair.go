@@ -408,6 +408,15 @@ func (n *Node) countWire(ft byte, payloadLen, copies int) {
 		n.tel.wireDataBytes.Add(bytes)
 	case p2p.FrameRepairAnnounce, p2p.FrameRepairGet, p2p.FrameRepairData:
 		n.tel.wireRepairBytes.Add(bytes)
+	case p2p.FrameBlock, p2p.FrameGetBlock:
+		// Block propagation proper (push or gossip fetch exchange) — the
+		// bytes the §13 gossip-vs-full-mesh gate compares.
+		n.tel.wireConsensusBytes.Add(bytes)
+		n.tel.wireBlockBytes.Add(bytes)
+	case p2p.FrameBlockAnnounce:
+		n.tel.wireConsensusBytes.Add(bytes)
+		n.tel.wireBlockBytes.Add(bytes)
+		n.tel.wireAnnounceBytes.Add(bytes)
 	default:
 		n.tel.wireConsensusBytes.Add(bytes)
 	}

@@ -75,14 +75,29 @@ func FuzzSyncFrames(f *testing.F) {
 	f.Add(uint8(2), encodeGetBatch(9, 3))                     // inverted range
 	f.Add(uint8(1), putU32(putU64(nil, 1), maxSyncHeaders+1)) // oversized count
 	f.Add(uint8(3), putU32(putU64(nil, ^uint64(0)), maxSyncBatch+1))
+	// Near-MaxUint64 range: first+maxSyncBatch-1 must saturate, not wrap
+	// past first and echo a bogus batch.
+	f.Add(uint8(2), encodeGetBatch(^uint64(0)-2, ^uint64(0)))
+	// Gossip frames ride the same handler: a hostile announce must at worst
+	// park a pending fetch, never move the chain.
+	tipBlk := n.Tip()
+	f.Add(uint8(4), encodeAnnounce(tipBlk.Index+1, tipBlk.Hash))
+	f.Add(uint8(5), tipBlk.Hash[:])
+	f.Add(uint8(4), encodeAnnounce(^uint64(0), tipBlk.Hash))
+	f.Add(uint8(5), tipBlk.Hash[:16]) // short hash
 
-	frames := []byte{p2p.FrameSyncLocator, p2p.FrameSyncHeaders, p2p.FrameSyncGetBatch, p2p.FrameSyncBatch}
+	frames := []byte{
+		p2p.FrameSyncLocator, p2p.FrameSyncHeaders, p2p.FrameSyncGetBatch,
+		p2p.FrameSyncBatch, p2p.FrameBlockAnnounce, p2p.FrameGetBlock,
+	}
 	f.Fuzz(func(t *testing.T, sel uint8, payload []byte) {
 		// Decoders must fail cleanly, never panic, on any input.
 		_, _ = decodeLocator(payload)
 		_, _ = decodeSyncHeaders(payload)
 		_, _, _ = decodeGetBatch(payload)
 		_, _ = decodeBatch(payload)
+		_, _, _ = decodeAnnounce(payload)
+		_, _ = decodeGetBlock(payload)
 
 		// And the full handler path must hold the no-invalid-adoption
 		// invariant.
@@ -92,6 +107,7 @@ func FuzzSyncFrames(f *testing.F) {
 		}
 		n.mu.Lock()
 		n.clearSyncLocked()
+		n.clearGossipLocked()
 		n.mu.Unlock()
 	})
 }

@@ -151,6 +151,9 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add(frame(FrameHello, []byte("127.0.0.1:7000")))
+	// Malformed hellos serveConn must reject: empty and oversized payloads.
+	f.Add(frame(FrameHello, nil))
+	f.Add(frame(FrameHello, make([]byte, MaxHelloLen+1)))
 	f.Add(frame(0xEE, []byte{1, 2, 3}))
 	// Truncated frames: declared length exceeds what follows.
 	f.Add(frame(FrameBlock, []byte("truncated"))[:7])

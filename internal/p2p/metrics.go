@@ -9,12 +9,14 @@ import (
 // maxFrameType is the highest defined frame type; per-type counters index
 // into a fixed array so the frame path never allocates. Slot 0 collects
 // unknown types.
-const maxFrameType = FrameSyncBatch
+const maxFrameType = FrameGetBlock
 
 // frameNames spells each frame type for metric names.
 var frameNames = [maxFrameType + 1]string{
 	"other", "hello", "block", "meta", "chain_request", "chain", "data_request", "data",
 	"sync_locator", "sync_headers", "sync_get_batch", "sync_batch",
+	"repair_announce", "repair_get", "repair_data",
+	"block_announce", "get_block",
 }
 
 // Metrics bundles the transport's counters. All fields are nil-safe

@@ -70,11 +70,28 @@ const (
 	// FrameRepairData answers a FrameRepairGet: the 32-byte data ID
 	// followed by the content.
 	FrameRepairData
+	// FrameBlockAnnounce advertises one block by height + header hash
+	// without shipping the body (inv-style gossip, DESIGN.md §13).
+	FrameBlockAnnounce
+	// FrameGetBlock asks the announcer for the full block behind a
+	// 32-byte header hash.
+	FrameGetBlock
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) against corrupt length
 // prefixes.
 const MaxFrameSize = 64 << 20
+
+// MaxHelloLen bounds the listen address carried by a hello frame. A hello
+// payload becomes the peer-map key verbatim, so an unbounded one would let
+// a malicious dialer register arbitrarily large keys; an empty one would
+// register as "". Real host:port strings are far below this.
+const MaxHelloLen = 256
+
+// broadcastConcurrency bounds how many peer writes a single Broadcast runs
+// in flight at once. Writes fan out concurrently so one stalled peer
+// (blocked until WriteTimeout) cannot delay delivery to the others.
+const broadcastConcurrency = 16
 
 // Handler receives inbound frames. from is the peer's listen address.
 // Calls are serialized: the node holds its handler lock while dispatching,
@@ -262,14 +279,26 @@ func (n *Node) serveConn(conn net.Conn, peerAddr string) {
 	defer conn.Close()
 
 	if peerAddr == "" {
-		// Inbound: first frame must be the hello.
+		// Inbound: first frame must be the hello, and its payload becomes
+		// the peer-map key — reject empty or oversized addresses so a
+		// malicious dialer cannot register as "" or flood the map with
+		// giant keys.
 		ft, payload, err := readFrame(conn)
 		if err != nil || ft != FrameHello {
 			return
 		}
+		if len(payload) == 0 || len(payload) > MaxHelloLen {
+			return
+		}
 		peerAddr = string(payload)
 		// Reply with our own hello so the dialer path stays symmetric for
-		// future peer-exchange extensions.
+		// future peer-exchange extensions (the dialer's reader skips
+		// inbound hellos, so this is safe against old peers too).
+		if err := writeFrameDeadline(conn, FrameHello, []byte(n.Addr())); err != nil {
+			n.metrics.Load().onSendErr(err)
+			return
+		}
+		n.metrics.Load().onSent(FrameHello, len(n.Addr()))
 	}
 	if _, ok := n.register(peerAddr, conn); !ok {
 		return // duplicate connection or node closed
@@ -316,6 +345,11 @@ func (n *Node) Send(peerAddr string, frameType byte, payload []byte) error {
 // that peer's connection but do not abort the broadcast. It returns how
 // many peer writes succeeded and how many failed (each failure also fires
 // the send-error hook), so callers can observe partial delivery.
+//
+// Writes fan out concurrently (bounded by broadcastConcurrency) so a
+// stalled peer burning its full WriteTimeout cannot head-of-line block
+// delivery to healthy peers; Broadcast still waits for every write to
+// finish before returning so the delivered/failed counts are complete.
 func (n *Node) Broadcast(frameType byte, payload []byte) (delivered, failed int) {
 	n.mu.Lock()
 	peers := make([]*peer, 0, len(n.peers))
@@ -324,20 +358,33 @@ func (n *Node) Broadcast(frameType byte, payload []byte) (delivered, failed int)
 	}
 	n.mu.Unlock()
 	m := n.metrics.Load()
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, broadcastConcurrency)
+		dlv  atomic.Int64
+		fail atomic.Int64
+	)
 	for _, p := range peers {
-		p.writeMu.Lock()
-		err := writeFrameDeadline(p.conn, frameType, payload)
-		p.writeMu.Unlock()
-		if err != nil {
-			m.onSendErr(err)
-			p.conn.Close()
-			n.notifySendErr(p.addr, err)
-			failed++
-			continue
-		}
-		m.onSent(frameType, len(payload))
-		delivered++
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *peer) {
+			defer func() { <-sem; wg.Done() }()
+			p.writeMu.Lock()
+			err := writeFrameDeadline(p.conn, frameType, payload)
+			p.writeMu.Unlock()
+			if err != nil {
+				m.onSendErr(err)
+				p.conn.Close()
+				n.notifySendErr(p.addr, err)
+				fail.Add(1)
+				return
+			}
+			m.onSent(frameType, len(payload))
+			dlv.Add(1)
+		}(p)
 	}
+	wg.Wait()
+	delivered, failed = int(dlv.Load()), int(fail.Load())
 	m.BroadcastDelivered.Add(delivered)
 	m.BroadcastFailed.Add(failed)
 	return delivered, failed

@@ -3,6 +3,7 @@ package p2p
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -234,4 +235,155 @@ func TestManyFramesInOrder(t *testing.T) {
 			t.Fatalf("frame %d = %q, want %q (reordered?)", i, f.payload, want)
 		}
 	}
+}
+
+// TestServeConnRepliesWithHello pins the handshake symmetry the serveConn
+// comment promises: an inbound dialer's hello is answered with the
+// acceptor's own hello, so both sides learn the other's listen binding.
+func TestServeConnRepliesWithHello(t *testing.T) {
+	r := &recorder{}
+	n, err := Listen("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	const claimed = "127.0.0.1:54321"
+	if err := writeFrame(conn, FrameHello, []byte(claimed)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	ft, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("no hello reply: %v", err)
+	}
+	if ft != FrameHello {
+		t.Fatalf("reply frame type = %d, want FrameHello", ft)
+	}
+	if string(payload) != n.Addr() {
+		t.Fatalf("reply hello = %q, want acceptor binding %q", payload, n.Addr())
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		for _, p := range n.Peers() {
+			if p == claimed {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestHelloValidation pins that an empty or oversized hello payload is
+// rejected instead of being registered verbatim as a peer key.
+func TestHelloValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"oversized", make([]byte, MaxHelloLen+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &recorder{}
+			n, err := Listen("127.0.0.1:0", r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { n.Close() })
+			conn, err := net.Dial("tcp", n.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { conn.Close() })
+			if err := writeFrame(conn, FrameHello, tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			// The node must drop the connection without registering a peer.
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, _, err := readFrame(conn); err == nil {
+				t.Fatal("node answered a malformed hello instead of dropping it")
+			}
+			if got := len(n.Peers()); got != 0 {
+				t.Fatalf("malformed hello registered %d peers: %v", got, n.Peers())
+			}
+		})
+	}
+}
+
+// TestBroadcastNotBlockedByStalledPeer pins the head-of-line fix: one peer
+// that stops draining its socket (its write burns the full WriteTimeout)
+// must not delay the same Broadcast's delivery to healthy peers.
+func TestBroadcastNotBlockedByStalledPeer(t *testing.T) {
+	oldTimeout := WriteTimeout
+	WriteTimeout = 3 * time.Second
+	t.Cleanup(func() { WriteTimeout = oldTimeout })
+
+	hub := &recorder{}
+	center, err := Listen("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { center.Close() })
+
+	const healthy = 4
+	recs := make([]*recorder, healthy)
+	for i := 0; i < healthy; i++ {
+		recs[i] = &recorder{}
+		leaf, err := Listen("127.0.0.1:0", recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { leaf.Close() })
+		if err := leaf.Connect(center.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stalled peer handshakes but never reads another byte, so a large
+	// frame write to it blocks until the write deadline fires.
+	stalled, err := net.Dial("tcp", center.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stalled.Close() })
+	if err := writeFrame(stalled, FrameHello, []byte("127.0.0.1:59999")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(center.Peers()) == healthy+1 })
+
+	// 8 MiB overflows the socket buffers, so the stalled peer's write
+	// cannot complete; healthy peers drain theirs immediately.
+	payload := make([]byte, 8<<20)
+	start := time.Now()
+	type result struct{ delivered, failed int }
+	done := make(chan result, 1)
+	go func() {
+		d, f := center.Broadcast(FrameData, payload)
+		done <- result{d, f}
+	}()
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	if elapsed := time.Since(start); elapsed >= WriteTimeout {
+		t.Fatalf("healthy peers waited %v, head-of-line blocked behind the stalled peer", elapsed)
+	}
+	select {
+	case res := <-done:
+		if res.delivered != healthy || res.failed != 1 {
+			t.Fatalf("broadcast = %d delivered / %d failed, want %d/1", res.delivered, res.failed, healthy)
+		}
+	case <-time.After(2 * WriteTimeout):
+		t.Fatal("broadcast never returned")
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(center.Peers()) == healthy })
 }
