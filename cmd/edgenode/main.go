@@ -54,6 +54,8 @@ func main() {
 		syncTmo    = flag.Duration("sync-timeout", 0, "per-batch sync response deadline (0 = default 2s)")
 		verifyWrk  = flag.Int("verify-workers", 0, "parallel signature-verification workers for sync suffixes (0 = default 4)")
 		snapEvery  = flag.Int("snapshot-every", 0, "ledger snapshot cadence in blocks, for incremental fork adoption (0 = default 32)")
+		pruneDepth = flag.Int("prune-depth", 0, "finite-lifetime chain: discard block bodies this far below the tip, with checkpoint finality at the same interval (0 = keep everything)")
+		bootSnap   = flag.Bool("bootstrap-snapshot", false, "on a fresh start, install the first peer's finalized state snapshot instead of syncing history from genesis")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always|batch|none")
 		metricsAdr = flag.String("metrics-addr", "", "HTTP address serving /metrics (JSON) and /debug/vars (expvar); empty = disabled")
 		repairWrk  = flag.Int("repair-workers", 0, "concurrent background re-replication fetches (0 = repair disabled)")
@@ -111,6 +113,9 @@ func main() {
 		if n := len(st.RecoveredBlocks()); n > 0 {
 			log.Printf("recovered %d blocks from %s", n, *dataDir)
 		}
+		if _, _, h, ok := st.RecoveredSnapshot(); ok {
+			log.Printf("recovered state snapshot at height %d from %s", h, *dataDir)
+		}
 		nodeStore = st
 	}
 
@@ -130,6 +135,9 @@ func main() {
 		VerifyWorkers: *verifyWrk,
 		SnapshotEvery: *snapEvery,
 		GossipFanout:  gossipFanout,
+
+		PruneDepth:        *pruneDepth,
+		BootstrapSnapshot: *bootSnap,
 
 		RepairWorkers:    *repairWrk,
 		RepairRate:       *repairRate,

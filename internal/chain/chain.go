@@ -7,13 +7,23 @@
 // receives a block whose index exceeds its tip index + 1 knows exactly
 // which indices it is missing, and buffers the out-of-order block until the
 // gap is filled.
+//
+// Since the finite-lifetime refactor (DESIGN.md §14) the replica separates
+// the *header spine* — one fixed-size Header per known height, enough to
+// answer locators, find fork points and enforce checkpoint finality — from
+// the *body window*, the suffix of full blocks above the prune horizon.
+// Prune discards bodies below a height; the spine is never pruned except
+// by bootstrap construction, which anchors the replica at a snapshot block
+// and leaves heights below it unknown (other than genesis).
 package chain
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/identity"
 )
 
 // Validation and append errors.
@@ -26,14 +36,66 @@ var (
 	// ErrStale means the block extends a shorter or equal fork and was
 	// ignored (longest-chain rule).
 	ErrStale = errors.New("chain: stale block")
+	// ErrPrunedBody means the height is part of the chain but its body has
+	// been pruned away (only the header remains).
+	ErrPrunedBody = errors.New("chain: body pruned")
+	// ErrUnknownHeight means the height is beyond the tip (or, on a
+	// bootstrapped replica, below the anchor).
+	ErrUnknownHeight = errors.New("chain: unknown height")
 )
+
+// Header is the fixed-size spine entry kept for every known height even
+// after the body is pruned: enough to serve locators, detect fork points,
+// and link-verify a child block (index, hashes, timestamp monotonicity and
+// the eq. 7 PoSHash chain all come from these fields).
+type Header struct {
+	Index     uint64
+	Hash      block.Hash
+	PrevHash  block.Hash
+	Miner     identity.Address
+	Timestamp time.Duration
+	PoSHash   block.Hash
+}
+
+// HeaderOf extracts the spine header of a block.
+func HeaderOf(b *block.Block) Header {
+	return Header{
+		Index:     b.Index,
+		Hash:      b.Hash,
+		PrevHash:  b.PrevHash,
+		Miner:     b.Miner,
+		Timestamp: b.Timestamp,
+		PoSHash:   b.PoSHash,
+	}
+}
+
+// VerifyLink checks that child correctly extends this header — the same
+// checks as block.VerifyLink, usable when the parent body is pruned.
+func (h Header) VerifyLink(child *block.Block) error {
+	stub := &block.Block{
+		Index:     h.Index,
+		Hash:      h.Hash,
+		Timestamp: h.Timestamp,
+		PoSHash:   h.PoSHash,
+	}
+	return child.VerifyLink(stub)
+}
 
 // Chain is a single node's validated replica. It is not safe for concurrent
 // use; the simulation is single-threaded by construction.
+//
+// Invariants: headers covers the contiguous height range [hdrBase, tip] and
+// is never empty; bodies covers [bodyBase, tip] with bodyBase >= hdrBase, so
+// the tip body is always present. genesis is retained even when pruned out
+// of the body window. byHash indexes every known header plus genesis.
 type Chain struct {
-	blocks  []*block.Block
-	byHash  map[block.Hash]uint64
-	pending map[uint64]*block.Block
+	genesis  *block.Block
+	headers  []Header
+	hdrBase  uint64
+	bodies   []*block.Block
+	bodyBase uint64
+	byHash   map[block.Hash]uint64
+	pending  map[uint64]*block.Block
 
 	// PreAppend, if set, can veto a block after the structural checks but
 	// before it is appended; the core layer uses it for Proof-of-Stake
@@ -51,43 +113,209 @@ func New(genesis *block.Block) *Chain {
 		panic("chain: genesis must have index 0")
 	}
 	c := &Chain{
-		blocks:  []*block.Block{genesis},
+		genesis: genesis,
+		headers: []Header{HeaderOf(genesis)},
+		bodies:  []*block.Block{genesis},
 		byHash:  map[block.Hash]uint64{genesis.Hash: 0},
 		pending: make(map[uint64]*block.Block),
 	}
 	return c
 }
 
-// Height returns the tip index (genesis = 0).
-func (c *Chain) Height() uint64 { return c.blocks[len(c.blocks)-1].Index }
-
-// Len returns the number of blocks including genesis.
-func (c *Chain) Len() int { return len(c.blocks) }
-
-// Tip returns the latest block.
-func (c *Chain) Tip() *block.Block { return c.blocks[len(c.blocks)-1] }
-
-// Genesis returns block 0.
-func (c *Chain) Genesis() *block.Block { return c.blocks[0] }
-
-// At returns the block at the given index, or nil if unknown.
-func (c *Chain) At(index uint64) *block.Block {
-	if index >= uint64(len(c.blocks)) {
-		return nil
+// NewBootstrapped creates a replica anchored at a snapshot block instead of
+// genesis (DESIGN.md §14): the spine holds only genesis and the anchor, and
+// heights in between are unknown to this replica. The caller is responsible
+// for having content-verified the anchor (engine.BootstrapFromSnapshot
+// does); this constructor checks only structural facts.
+func NewBootstrapped(genesis, anchor *block.Block) (*Chain, error) {
+	if genesis == nil || genesis.Index != 0 {
+		return nil, errors.New("chain: genesis must have index 0")
 	}
-	return c.blocks[index]
+	if anchor == nil || anchor.Index == 0 {
+		return nil, errors.New("chain: bootstrap anchor must be above genesis")
+	}
+	c := &Chain{
+		genesis:  genesis,
+		headers:  []Header{HeaderOf(anchor)},
+		hdrBase:  anchor.Index,
+		bodies:   []*block.Block{anchor},
+		bodyBase: anchor.Index,
+		byHash: map[block.Hash]uint64{
+			genesis.Hash: 0,
+			anchor.Hash:  anchor.Index,
+		},
+		pending: make(map[uint64]*block.Block),
+	}
+	return c, nil
 }
 
-// ByHash returns the block with the given hash, or nil.
-func (c *Chain) ByHash(h block.Hash) *block.Block {
-	if i, ok := c.byHash[h]; ok {
-		return c.blocks[i]
+// Height returns the tip index (genesis = 0).
+func (c *Chain) Height() uint64 { return c.headers[len(c.headers)-1].Index }
+
+// Len returns the logical chain length including genesis and any pruned
+// heights.
+func (c *Chain) Len() int { return int(c.Height()) + 1 }
+
+// BodyBase returns the lowest height whose body is retained. 0 means the
+// replica is unpruned.
+func (c *Chain) BodyBase() uint64 { return c.bodyBase }
+
+// BodyCount returns the number of retained bodies (the body window size).
+func (c *Chain) BodyCount() int { return len(c.bodies) }
+
+// HeaderBase returns the lowest height on the header spine (0 unless the
+// replica was bootstrapped from a snapshot).
+func (c *Chain) HeaderBase() uint64 { return c.hdrBase }
+
+// Tip returns the latest block; its body is always retained.
+func (c *Chain) Tip() *block.Block { return c.bodies[len(c.bodies)-1] }
+
+// Genesis returns block 0, which is retained even when pruned out of the
+// body window.
+func (c *Chain) Genesis() *block.Block { return c.genesis }
+
+// At returns the block at the given index, or nil if its body is not
+// retained (beyond the tip, pruned, or below a bootstrap anchor). Use Body
+// when the caller needs to distinguish those cases.
+func (c *Chain) At(index uint64) *block.Block {
+	b, err := c.Body(index)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Body returns the block body at the given index, ErrPrunedBody when the
+// height is part of the chain but only its header remains, and
+// ErrUnknownHeight when the height is beyond the tip.
+func (c *Chain) Body(index uint64) (*block.Block, error) {
+	if index > c.Height() {
+		return nil, fmt.Errorf("%w: %d beyond tip %d", ErrUnknownHeight, index, c.Height())
+	}
+	if index == 0 && c.bodyBase > 0 {
+		return c.genesis, nil
+	}
+	if index < c.bodyBase {
+		return nil, fmt.Errorf("%w: height %d below body window base %d", ErrPrunedBody, index, c.bodyBase)
+	}
+	return c.bodies[index-c.bodyBase], nil
+}
+
+// HeaderAt returns the spine header at the given index. ok is false for
+// heights beyond the tip or, on a bootstrapped replica, between genesis and
+// the anchor.
+func (c *Chain) HeaderAt(index uint64) (Header, bool) {
+	if index == 0 {
+		return HeaderOf(c.genesis), true
+	}
+	if index < c.hdrBase || index > c.Height() {
+		return Header{}, false
+	}
+	return c.headers[index-c.hdrBase], true
+}
+
+// Headers returns a copy of the spine headers in [from, to], clamped to
+// what the replica holds (genesis is excluded: it is not part of the
+// headers slice on a bootstrapped replica).
+func (c *Chain) Headers(from, to uint64) []Header {
+	if from < c.hdrBase {
+		from = c.hdrBase
+	}
+	if to > c.Height() {
+		to = c.Height()
+	}
+	if from > to {
+		return nil
+	}
+	out := make([]Header, to-from+1)
+	copy(out, c.headers[from-c.hdrBase:to-c.hdrBase+1])
+	return out
+}
+
+// BackfillSpine extends the header spine downward, e.g. from a persisted
+// spine file after a snapshot restore. hdrs must end exactly at
+// HeaderBase()-1, be contiguously indexed, internally hash-linked, and link
+// into the existing spine (and into genesis if it reaches height 1).
+func (c *Chain) BackfillSpine(hdrs []Header) error {
+	if len(hdrs) == 0 {
+		return nil
+	}
+	last := hdrs[len(hdrs)-1]
+	if c.hdrBase == 0 || last.Index != c.hdrBase-1 {
+		return fmt.Errorf("chain: backfill ends at %d, spine base is %d", last.Index, c.hdrBase)
+	}
+	if last.Hash != c.headers[0].PrevHash {
+		return errors.New("chain: backfill does not link into spine")
+	}
+	for i, h := range hdrs {
+		if h.Index != hdrs[0].Index+uint64(i) {
+			return fmt.Errorf("chain: backfill non-contiguous at offset %d", i)
+		}
+		if i > 0 && h.PrevHash != hdrs[i-1].Hash {
+			return fmt.Errorf("chain: backfill hash-link broken at height %d", h.Index)
+		}
+	}
+	if hdrs[0].Index == 1 && hdrs[0].PrevHash != c.genesis.Hash {
+		return errors.New("chain: backfill does not link to genesis")
+	}
+	if hdrs[0].Index == 0 {
+		return errors.New("chain: backfill must not include genesis")
+	}
+	merged := make([]Header, 0, len(hdrs)+len(c.headers))
+	merged = append(merged, hdrs...)
+	merged = append(merged, c.headers...)
+	c.headers = merged
+	c.hdrBase = hdrs[0].Index
+	for _, h := range hdrs {
+		c.byHash[h.Hash] = h.Index
 	}
 	return nil
 }
 
-// Blocks returns the underlying slice (do not modify).
-func (c *Chain) Blocks() []*block.Block { return c.blocks }
+// Prune discards block bodies below the given height (exclusive), keeping
+// the header spine intact. The tip body is always retained; genesis is
+// retained separately and stays reachable via Genesis and Body(0). Returns
+// the number of bodies discarded.
+func (c *Chain) Prune(below uint64) int {
+	if below > c.Height() {
+		below = c.Height()
+	}
+	if below <= c.bodyBase {
+		return 0
+	}
+	n := int(below - c.bodyBase)
+	// Fresh backing array so the discarded prefix becomes collectable even
+	// while callers hold slices from earlier Blocks() calls.
+	kept := make([]*block.Block, len(c.bodies)-n)
+	copy(kept, c.bodies[n:])
+	c.bodies = kept
+	c.bodyBase = below
+	return n
+}
+
+// ByHash returns the block with the given hash, or nil when unknown or
+// when only its header remains.
+func (c *Chain) ByHash(h block.Hash) *block.Block {
+	if i, ok := c.byHash[h]; ok {
+		return c.At(i)
+	}
+	return nil
+}
+
+// HasHash reports whether the hash is on the chain (header or body).
+func (c *Chain) HasHash(h block.Hash) bool {
+	_, ok := c.byHash[h]
+	return ok
+}
+
+// Blocks returns a copy of the retained body window, lowest height first.
+// The first element is genesis only when BodyBase() == 0; use BodyBase to
+// map slice offsets to heights on a pruned replica.
+func (c *Chain) Blocks() []*block.Block {
+	out := make([]*block.Block, len(c.bodies))
+	copy(out, c.bodies)
+	return out
+}
 
 // Pending returns the number of buffered out-of-order blocks.
 func (c *Chain) Pending() int { return len(c.pending) }
@@ -153,7 +381,8 @@ func (c *Chain) Add(b *block.Block) (appended int, err error) {
 }
 
 func (c *Chain) append(b *block.Block) {
-	c.blocks = append(c.blocks, b)
+	c.headers = append(c.headers, HeaderOf(b))
+	c.bodies = append(c.bodies, b)
 	c.byHash[b.Hash] = b.Index
 	if c.PostAppend != nil {
 		c.PostAppend(b)
@@ -211,28 +440,34 @@ func (c *Chain) AppendTrusted(b *block.Block) error {
 
 // ReplaceIfLonger adopts a full candidate chain if it is strictly longer
 // than the local one and fully valid (the longest-chain rule for fork
-// resolution). It reports whether the replacement happened. PreAppend and
-// PostAppend hooks do NOT run; callers that track derived state (stake
-// ledger, storage view) must rebuild it after a replacement — they are the
-// only ones who can validate candidate PoS claims against a replayed
-// ledger first.
+// resolution). It reports whether the replacement happened. The replica
+// becomes fully unpruned. PreAppend and PostAppend hooks do NOT run;
+// callers that track derived state (stake ledger, storage view) must
+// rebuild it after a replacement — they are the only ones who can validate
+// candidate PoS claims against a replayed ledger first.
 func (c *Chain) ReplaceIfLonger(candidate []*block.Block) (bool, error) {
-	if len(candidate) <= len(c.blocks) {
+	if len(candidate) <= c.Len() {
 		return false, nil
 	}
 	if err := Validate(candidate); err != nil {
 		return false, fmt.Errorf("chain: reject candidate: %w", err)
 	}
-	if candidate[0].Hash != c.blocks[0].Hash {
+	if candidate[0].Hash != c.genesis.Hash {
 		return false, errors.New("chain: candidate has different genesis")
 	}
-	blocks := make([]*block.Block, len(candidate))
+	bodies := make([]*block.Block, len(candidate))
+	headers := make([]Header, len(candidate))
 	byHash := make(map[block.Hash]uint64, len(candidate))
-	copy(blocks, candidate)
-	for _, b := range blocks {
+	copy(bodies, candidate)
+	for i, b := range bodies {
+		headers[i] = HeaderOf(b)
 		byHash[b.Hash] = b.Index
 	}
-	c.blocks = blocks
+	c.genesis = bodies[0]
+	c.bodies = bodies
+	c.bodyBase = 0
+	c.headers = headers
+	c.hdrBase = 0
 	c.byHash = byHash
 	c.pending = make(map[uint64]*block.Block)
 	return true, nil

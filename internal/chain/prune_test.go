@@ -1,0 +1,255 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPruneDiscardsBodiesKeepsSpine(t *testing.T) {
+	blocks := buildChain(t, 1, 20)
+	c := New(blocks[0])
+	for _, b := range blocks[1:] {
+		if _, err := c.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Prune(10); n != 10 {
+		t.Fatalf("Prune(10) discarded %d bodies, want 10", n)
+	}
+	if c.BodyBase() != 10 || c.BodyCount() != 11 {
+		t.Fatalf("window base=%d count=%d, want 10/11", c.BodyBase(), c.BodyCount())
+	}
+	if c.Height() != 20 || c.Len() != 21 || c.Tip() != blocks[20] {
+		t.Fatal("logical chain shape changed by pruning")
+	}
+
+	// Below the window: headers answer, bodies do not.
+	for h := uint64(1); h < 10; h++ {
+		hdr, ok := c.HeaderAt(h)
+		if !ok || hdr.Hash != blocks[h].Hash {
+			t.Fatalf("header %d lost or wrong after prune", h)
+		}
+		if c.At(h) != nil {
+			t.Fatalf("pruned body %d still returned", h)
+		}
+		if _, err := c.Body(h); !errors.Is(err, ErrPrunedBody) {
+			t.Fatalf("Body(%d) err = %v, want ErrPrunedBody", h, err)
+		}
+		if c.ByHash(blocks[h].Hash) != nil {
+			t.Fatalf("ByHash returned a pruned body at %d", h)
+		}
+		if !c.HasHash(blocks[h].Hash) {
+			t.Fatalf("HasHash forgot pruned height %d", h)
+		}
+	}
+	// Genesis stays reachable even though its body left the window.
+	if g, err := c.Body(0); err != nil || g != blocks[0] {
+		t.Fatalf("genesis unreachable after prune: %v", err)
+	}
+	if c.Genesis() != blocks[0] {
+		t.Fatal("Genesis() changed")
+	}
+	// In the window everything still answers.
+	for h := uint64(10); h <= 20; h++ {
+		if c.At(h) != blocks[h] {
+			t.Fatalf("retained body %d wrong", h)
+		}
+	}
+	if _, err := c.Body(21); !errors.Is(err, ErrUnknownHeight) {
+		t.Fatalf("Body beyond tip err = %v, want ErrUnknownHeight", err)
+	}
+
+	// Blocks() maps offsets through BodyBase on a pruned replica.
+	bs := c.Blocks()
+	if len(bs) != 11 || bs[0].Index != 10 {
+		t.Fatalf("Blocks() window wrong: len=%d first=%d", len(bs), bs[0].Index)
+	}
+
+	// The chain keeps extending normally after a prune.
+	b21 := nextBlock(blocks[20], testMiner(1), 21*time.Minute)
+	if _, err := c.Add(b21); err != nil {
+		t.Fatalf("append after prune: %v", err)
+	}
+	if c.Tip() != b21 {
+		t.Fatal("tip not advanced after prune")
+	}
+}
+
+func TestPruneClamping(t *testing.T) {
+	blocks := buildChain(t, 2, 8)
+	c := New(blocks[0])
+	for _, b := range blocks[1:] {
+		if _, err := c.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Prune(5); n != 5 {
+		t.Fatalf("first prune discarded %d, want 5", n)
+	}
+	// At or below the base: no-op.
+	if n := c.Prune(5); n != 0 {
+		t.Fatalf("re-prune at base discarded %d", n)
+	}
+	if n := c.Prune(3); n != 0 {
+		t.Fatalf("prune below base discarded %d", n)
+	}
+	// Beyond the tip: clamps so the tip body survives.
+	if n := c.Prune(99); n != 3 {
+		t.Fatalf("over-prune discarded %d, want 3", n)
+	}
+	if c.BodyBase() != 8 || c.BodyCount() != 1 || c.Tip() != blocks[8] {
+		t.Fatal("over-prune must retain exactly the tip body")
+	}
+}
+
+// TestBlocksReturnsCopy is the aliasing regression: mutating the slice
+// returned by Blocks() must not corrupt the replica's own window.
+func TestBlocksReturnsCopy(t *testing.T) {
+	blocks := buildChain(t, 3, 4)
+	c := New(blocks[0])
+	for _, b := range blocks[1:] {
+		if _, err := c.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Blocks()
+	for i := range got {
+		got[i] = nil
+	}
+	_ = append(got[:0], nil)
+	for h := uint64(0); h <= 4; h++ {
+		if c.At(h) != blocks[h] {
+			t.Fatalf("caller mutation corrupted body %d", h)
+		}
+	}
+	if c.Tip() != blocks[4] {
+		t.Fatal("caller mutation corrupted the tip")
+	}
+}
+
+func TestNewBootstrapped(t *testing.T) {
+	blocks := buildChain(t, 4, 10)
+	anchor := blocks[6]
+	c, err := NewBootstrapped(blocks[0], anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 6 || c.Tip() != anchor || c.BodyBase() != 6 || c.HeaderBase() != 6 {
+		t.Fatal("bootstrapped replica shape wrong")
+	}
+	// Between genesis and the anchor nothing is known.
+	if _, ok := c.HeaderAt(3); ok {
+		t.Fatal("pre-anchor header should be unknown")
+	}
+	if _, err := c.Body(3); !errors.Is(err, ErrPrunedBody) {
+		t.Fatalf("pre-anchor Body err = %v, want ErrPrunedBody", err)
+	}
+	if g, err := c.Body(0); err != nil || g != blocks[0] {
+		t.Fatal("genesis must answer on a bootstrapped replica")
+	}
+	// The suffix appends normally above the anchor.
+	for _, b := range blocks[7:] {
+		if _, err := c.Add(b); err != nil {
+			t.Fatalf("suffix block %d: %v", b.Index, err)
+		}
+	}
+	if c.Height() != 10 || c.Tip() != blocks[10] {
+		t.Fatal("suffix not adopted")
+	}
+
+	// Constructor rejections.
+	if _, err := NewBootstrapped(nil, anchor); err == nil {
+		t.Fatal("nil genesis accepted")
+	}
+	if _, err := NewBootstrapped(blocks[0], blocks[0]); err == nil {
+		t.Fatal("genesis as anchor accepted")
+	}
+}
+
+func TestBackfillSpine(t *testing.T) {
+	blocks := buildChain(t, 5, 10)
+	mkSpine := func(from, to uint64) []Header {
+		var hs []Header
+		for h := from; h <= to; h++ {
+			hs = append(hs, HeaderOf(blocks[h]))
+		}
+		return hs
+	}
+	fresh := func(t *testing.T) *Chain {
+		c, err := NewBootstrapped(blocks[0], blocks[6])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	t.Run("full backfill", func(t *testing.T) {
+		c := fresh(t)
+		if err := c.BackfillSpine(mkSpine(1, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if c.HeaderBase() != 1 {
+			t.Fatalf("header base %d after backfill, want 1", c.HeaderBase())
+		}
+		for h := uint64(1); h <= 5; h++ {
+			hdr, ok := c.HeaderAt(h)
+			if !ok || hdr.Hash != blocks[h].Hash {
+				t.Fatalf("backfilled header %d wrong", h)
+			}
+			if !c.HasHash(blocks[h].Hash) {
+				t.Fatalf("backfilled hash %d not indexed", h)
+			}
+			if _, err := c.Body(h); !errors.Is(err, ErrPrunedBody) {
+				t.Fatalf("backfill must not invent bodies at %d", h)
+			}
+		}
+	})
+	t.Run("partial backfill then completion", func(t *testing.T) {
+		c := fresh(t)
+		if err := c.BackfillSpine(mkSpine(4, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if c.HeaderBase() != 4 {
+			t.Fatalf("header base %d, want 4", c.HeaderBase())
+		}
+		if err := c.BackfillSpine(mkSpine(1, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if c.HeaderBase() != 1 {
+			t.Fatalf("header base %d after completion, want 1", c.HeaderBase())
+		}
+	})
+	t.Run("rejections", func(t *testing.T) {
+		c := fresh(t)
+		if err := c.BackfillSpine(nil); err != nil {
+			t.Fatal("empty backfill must be a no-op")
+		}
+		if err := c.BackfillSpine(mkSpine(1, 4)); err == nil {
+			t.Fatal("gap to spine base accepted")
+		}
+		wrongLink := mkSpine(1, 5)
+		wrongLink[2].Hash = blocks[9].Hash
+		if err := c.BackfillSpine(wrongLink); err == nil {
+			t.Fatal("broken hash link accepted")
+		}
+		gapped := append(mkSpine(1, 2), mkSpine(4, 5)...)
+		if err := c.BackfillSpine(gapped); err == nil {
+			t.Fatal("non-contiguous backfill accepted")
+		}
+		withGenesis := append([]Header{HeaderOf(blocks[0])}, mkSpine(1, 5)...)
+		if err := c.BackfillSpine(withGenesis); err == nil {
+			t.Fatal("backfill including genesis accepted")
+		}
+		foreign := mkSpine(1, 5)
+		foreign[0].PrevHash = blocks[3].Hash
+		if err := c.BackfillSpine(foreign); err == nil {
+			t.Fatal("backfill not linking to genesis accepted")
+		}
+		// A full chain replica (hdrBase 0) cannot backfill further down.
+		full := New(blocks[0])
+		if err := full.BackfillSpine(mkSpine(1, 5)); err == nil {
+			t.Fatal("backfill below genesis accepted")
+		}
+	})
+}

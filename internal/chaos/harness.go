@@ -73,6 +73,32 @@ type Options struct {
 	// 0 = gossip with the default fanout, >0 = that fanout, negative =
 	// legacy full-mesh block push (DESIGN.md §13).
 	GossipFanout int
+	// PruneDepth, when positive, runs the finite-lifetime chain on the
+	// nodes selected by PruneNodes: bodies below the snapshot-covered
+	// checkpoint horizon are discarded and only the header spine kept
+	// (livenode.Config.PruneDepth).
+	PruneDepth int
+	// PruneNodes lists the roster indices that prune (nil = every node
+	// when PruneDepth > 0). A mix of pruned and archival nodes in one
+	// cluster is the interesting case: forks, sync and restarts must work
+	// across both replica shapes.
+	PruneNodes []int
+}
+
+// prunes reports whether node i runs with a prune horizon.
+func (o Options) prunes(i int) bool {
+	if o.PruneDepth <= 0 {
+		return false
+	}
+	if o.PruneNodes == nil {
+		return true
+	}
+	for _, p := range o.PruneNodes {
+		if p == i {
+			return true
+		}
+	}
+	return false
 }
 
 // Cluster is N live nodes on one fault-injecting in-memory network and one
@@ -173,6 +199,10 @@ func (c *Cluster) startNode(i int) error {
 		}
 		st = s
 	}
+	pruneDepth := 0
+	if c.opts.prunes(i) {
+		pruneDepth = c.opts.PruneDepth
+	}
 	node, err := livenode.New(livenode.Config{
 		Identity:        c.idents[i],
 		Accounts:        c.accounts,
@@ -188,6 +218,7 @@ func (c *Cluster) startNode(i int) error {
 		SnapshotEvery:   c.opts.SnapshotEvery,
 		GossipFanout:    c.opts.GossipFanout,
 		Telemetry:       c.nodeRegs[i],
+		PruneDepth:      pruneDepth,
 
 		RepairWorkers:      c.opts.RepairWorkers,
 		RepairRate:         c.opts.RepairRate,
@@ -467,6 +498,13 @@ func (c *Cluster) RunUntil(cond func() bool, max time.Duration) error {
 // Converged reports whether every live node has the identical chain.
 func (c *Cluster) Converged() bool {
 	return CheckConvergence(c.Nodes()) == nil
+}
+
+// ConvergedHeaders reports whether every live node agrees on height and
+// every header hash — convergence for clusters containing pruned replicas,
+// whose body windows legitimately differ.
+func (c *Cluster) ConvergedHeaders() bool {
+	return CheckHeaderConvergence(c.Nodes()) == nil
 }
 
 // Settle waits (in virtual time) for full convergence of all live nodes.

@@ -34,6 +34,35 @@ func CheckConvergence(nodes []*livenode.Node) error {
 	return nil
 }
 
+// CheckHeaderConvergence verifies that every node agrees on height and on
+// the header hash at every height — the convergence check that still works
+// in a mixed cluster where some replicas pruned their block bodies away.
+// Nodes that mined (or backfilled) from genesis keep the full header
+// spine, so the comparison spans the whole chain.
+func CheckHeaderConvergence(nodes []*livenode.Node) error {
+	if len(nodes) < 2 {
+		return nil
+	}
+	ref := nodes[0]
+	height := ref.Height()
+	for k, n := range nodes[1:] {
+		if got := n.Height(); got != height {
+			return fmt.Errorf("chaos: node %d at height %d, node 0 at %d", k+1, got, height)
+		}
+		for h := uint64(0); h <= height; h++ {
+			want, ok1 := ref.HeaderHashAt(h)
+			got, ok2 := n.HeaderHashAt(h)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("chaos: header at height %d missing (node 0: %v, node %d: %v)", h, ok1, k+1, ok2)
+			}
+			if got != want {
+				return fmt.Errorf("chaos: node %d header diverges from node 0 at height %d", k+1, h)
+			}
+		}
+	}
+	return nil
+}
+
 // CheckChainValidity replays the whole snapshot end-to-end: structural
 // validation (hashes, links, item signatures) plus PoS claim validation of
 // every block against a scratch ledger built from the same prefix —

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/chain"
 	"repro/internal/meta"
 )
 
@@ -27,6 +28,16 @@ type Store interface {
 	// Checkpoint records the chain head + height so the next open can
 	// replay incrementally.
 	Checkpoint(height uint64, head block.Hash) error
+	// SaveSnapshot durably persists a serialized engine state snapshot at
+	// the given height together with the header spine covering [1, height]
+	// (DESIGN.md §14), superseding any earlier snapshot.
+	SaveSnapshot(height uint64, blob []byte, spine []chain.Header) error
+	// RecoveredSnapshot returns the hash-verified snapshot found at open
+	// time, if any; ok=false means replay from genesis.
+	RecoveredSnapshot() (blob []byte, spine []chain.Header, height uint64, ok bool)
+	// CompactBlocks discards persisted blocks wholly below the prune
+	// horizon (whole WAL segments only; a partial segment is kept).
+	CompactBlocks(below uint64) error
 
 	// PutData stores a data item's content under its content hash.
 	PutData(id meta.DataID, content []byte) error
@@ -65,6 +76,17 @@ func (s *MemStore) ResetChain([]*block.Block) error { return nil }
 
 // Checkpoint implements Store as a no-op.
 func (s *MemStore) Checkpoint(uint64, block.Hash) error { return nil }
+
+// SaveSnapshot implements Store as a no-op (nothing survives a restart).
+func (s *MemStore) SaveSnapshot(uint64, []byte, []chain.Header) error { return nil }
+
+// RecoveredSnapshot implements Store (nothing survives a restart).
+func (s *MemStore) RecoveredSnapshot() ([]byte, []chain.Header, uint64, bool) {
+	return nil, nil, 0, false
+}
+
+// CompactBlocks implements Store as a no-op.
+func (s *MemStore) CompactBlocks(uint64) error { return nil }
 
 // PutData stores a copy of the content.
 func (s *MemStore) PutData(id meta.DataID, content []byte) error {

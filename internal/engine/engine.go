@@ -138,6 +138,17 @@ type Config struct {
 	// <= 1 verifies sequentially. The accept/reject outcome is
 	// deterministic regardless of the setting.
 	VerifyWorkers int
+	// PruneDepth, when positive, enables the finite-lifetime chain
+	// (DESIGN.md §14): after each periodic snapshot, block bodies below
+	// min(newest checkpoint, oldest retained snapshot, tip-PruneDepth)
+	// are discarded, keeping only the header spine. Requires
+	// CheckpointInterval > 0 and SnapshotInterval > 0, which together
+	// guarantee adoption never needs a pruned body.
+	PruneDepth int
+	// OnPrune, if set, is called synchronously after bodies below horizon
+	// were discarded (pruned = how many), so adapters can compact
+	// persistent storage to match.
+	OnPrune func(horizon uint64, pruned int)
 
 	// Topology returns the placement topology (home positions for the
 	// sim, a 1-hop clique for the live mesh).
@@ -231,6 +242,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.RandomPlacement && cfg.Rand == nil {
 		return nil, errors.New("engine: random placement needs a Rand source")
+	}
+	if cfg.PruneDepth > 0 && (cfg.CheckpointInterval <= 0 || cfg.SnapshotInterval <= 0) {
+		return nil, errors.New("engine: PruneDepth requires CheckpointInterval and SnapshotInterval")
 	}
 	if cfg.FutureSkew == 0 {
 		cfg.FutureSkew = 2 * time.Second
@@ -417,9 +431,11 @@ func (e *Engine) AdoptChain(blocks []*block.Block) bool {
 		return false
 	}
 	// Checkpoint rule (Section V-D): a candidate that rewrites history at
-	// or below our newest checkpoint is refused even if longer.
+	// or below our newest checkpoint is refused even if longer. The spine
+	// header is enough even when the checkpoint body is pruned.
 	if cp := e.LastCheckpoint(); cp > 0 {
-		if uint64(len(blocks)) <= cp || blocks[cp].Hash != e.ch.At(cp).Hash {
+		hdr, ok := e.ch.HeaderAt(cp)
+		if !ok || uint64(len(blocks)) <= cp || blocks[cp].Hash != hdr.Hash {
 			return false
 		}
 	}
@@ -456,6 +472,7 @@ func (e *Engine) AdoptChain(blocks []*block.Block) bool {
 	// Snapshots taken on the abandoned branch are now invalid; ones on the
 	// surviving common prefix stay usable.
 	e.pruneSnapshots()
+	e.maybePrune()
 	return true
 }
 

@@ -77,14 +77,16 @@ func (e *Engine) maybeSnapshot(height uint64) {
 	if len(e.snaps) > snapshotKeep {
 		e.snaps = e.snaps[len(e.snaps)-snapshotKeep:]
 	}
+	e.maybePrune()
 }
 
 // pruneSnapshots drops snapshots that are no longer on this chain (their
-// height was rewritten by a fork adoption).
+// height was rewritten by a fork adoption). Spine headers are enough:
+// snapshot heights may lie below the body window.
 func (e *Engine) pruneSnapshots() {
 	kept := e.snaps[:0]
 	for _, s := range e.snaps {
-		if b := e.ch.At(s.height); b != nil && b.Hash == s.hash {
+		if hdr, ok := e.ch.HeaderAt(s.height); ok && hdr.Hash == s.hash {
 			kept = append(kept, s)
 		}
 	}
@@ -102,7 +104,7 @@ func (e *Engine) bestSnapshot(height uint64) (snapshot, bool) {
 		if s.height > height {
 			continue
 		}
-		if b := e.ch.At(s.height); b == nil || b.Hash != s.hash {
+		if hdr, ok := e.ch.HeaderAt(s.height); !ok || hdr.Hash != s.hash {
 			continue
 		}
 		return s, true
@@ -235,7 +237,12 @@ func (e *Engine) AdoptSuffix(suffix []*block.Block) (SuffixStats, bool) {
 	} else {
 		// The fork predates every snapshot: legacy scratch replay of the
 		// synthesized full candidate. No extra network cost — the prefix is
-		// our own chain.
+		// our own chain. A pruned replica cannot synthesize that prefix;
+		// refusing is safe because pruning keeps the body window above the
+		// checkpoint, so any such fork is non-finalizable history anyway.
+		if e.ch.BodyBase() != 0 {
+			return st, false
+		}
 		candidate := make([]*block.Block, 0, int(forkPoint)+1+len(suffix))
 		candidate = append(candidate, e.ch.Blocks()[:forkPoint+1]...)
 		candidate = append(candidate, suffix...)
@@ -295,5 +302,6 @@ func (e *Engine) AdoptSuffix(suffix []*block.Block) (SuffixStats, bool) {
 		}
 	}
 	e.pruneSnapshots()
+	e.maybePrune()
 	return st, true
 }

@@ -70,7 +70,7 @@ type Config struct {
 	// CheckpointEvery checkpoints the store manifest (and prunes expired
 	// data items) every this many adopted blocks (default 32). This is a
 	// persistence cadence, distinct from the engine's consensus
-	// checkpoint-finality interval (which live nodes leave disabled).
+	// checkpoint-finality interval (disabled unless PruneDepth is set).
 	CheckpointEvery int
 	// SyncBatchSize is how many blocks one incremental-sync batch request
 	// covers (default 64, capped at the protocol bound maxSyncBatch).
@@ -86,6 +86,23 @@ type Config struct {
 	// snapshots let fork suffixes adopt without a scratch replay
 	// (default 32, see engine.Config.SnapshotInterval).
 	SnapshotEvery int
+	// PruneDepth, when positive, runs the finite-lifetime chain
+	// (DESIGN.md §14): the engine enables checkpoint finality at this
+	// interval and discards block bodies below the prune horizon, the
+	// store persists the justifying snapshot plus header spine and
+	// compacts WAL segments below the horizon. Steady-state memory and
+	// disk become O(PruneDepth) instead of O(chain length). Zero (the
+	// default) keeps every body forever. Note the repair plane's provider
+	// index is rebuilt from block bodies, so combining PruneDepth with
+	// RepairWorkers leaves repair blind to assignments older than the
+	// prune window.
+	PruneDepth int
+	// BootstrapSnapshot makes a fresh node (empty chain, empty store) ask
+	// the first peer it connects to for the latest finalized state
+	// snapshot and install it instead of replaying history from genesis;
+	// only the live suffix above the anchor is then fetched through the
+	// §10 locator sync. Any failure falls back to plain suffix sync.
+	BootstrapSnapshot bool
 	// VerifyWorkers bounds the worker pool that content-verifies sync
 	// suffixes in parallel (default 4).
 	VerifyWorkers int
@@ -148,20 +165,24 @@ type Node struct {
 	net     p2p.Transport
 	clock   Clock
 
-	mu         sync.Mutex
-	eng        *engine.Engine
-	store      core.Store
-	replaying  bool // WAL replay in progress: skip re-persisting/fetching
-	sinceCkpt  int  // blocks adopted since the last store checkpoint
-	storeErr   error
-	mineTimer  Timer
-	closed     bool
-	onData     func(id meta.DataID, content []byte)
-	fetchStart map[meta.DataID]time.Time // pending data fetches, for latency
-	sync       *syncSession              // at most one incremental sync in flight
-	syncGen    uint64                    // session generation, guards stale timers
-	repair     *repairDriver             // nil when repair is disabled
-	gossip     *gossipState              // nil when gossip is disabled (legacy push)
+	mu            sync.Mutex
+	eng           *engine.Engine
+	store         core.Store
+	replaying     bool // WAL replay in progress: skip re-persisting/fetching
+	sinceCkpt     int  // blocks adopted since the last store checkpoint
+	storeErr      error
+	mineTimer     Timer
+	closed        bool
+	onData        func(id meta.DataID, content []byte)
+	fetchStart    map[meta.DataID]time.Time // pending data fetches, for latency
+	sync          *syncSession              // at most one incremental sync in flight
+	syncGen       uint64                    // session generation, guards stale timers
+	repair        *repairDriver             // nil when repair is disabled
+	gossip        *gossipState              // nil when gossip is disabled (legacy push)
+	boot          *bootstrapState           // at most one snapshot bootstrap in flight
+	bootGen       uint64                    // bootstrap generation, guards stale timers
+	bootHold      bool                      // fresh node: mining held for the first bootstrap attempt
+	persistedSnap uint64                    // newest snapshot height written to the store
 
 	tel *nodeMetrics
 }
@@ -202,6 +223,18 @@ type nodeMetrics struct {
 	underReplicated   *telemetry.Gauge     // live items below the replica floor
 	deadNodes         *telemetry.Gauge     // roster nodes the detector counts dead
 
+	// Snapshot bootstrap and chain pruning (DESIGN.md §14).
+	bootRequests       *telemetry.Counter // FrameGetSnapshot probes sent
+	bootChunks         *telemetry.Counter // snapshot chunks received
+	bootBytes          *telemetry.Counter // snapshot payload bytes received
+	bootInstalled      *telemetry.Counter // snapshots verified and installed
+	bootFallbacks      *telemetry.Counter // bootstraps abandoned for suffix sync
+	bootServed         *telemetry.Counter // FrameGetSnapshot requests answered
+	pruneRuns          *telemetry.Counter // engine prune passes that dropped bodies
+	pruneBodies        *telemetry.Counter // block bodies discarded below the horizon
+	pruneHorizon       *telemetry.Gauge   // current prune horizon height
+	snapshotsPersisted *telemetry.Counter // snapshot blobs written to the store
+
 	// Inv-style gossip block relay (DESIGN.md §13).
 	gossipRelays          *telemetry.Counter // adopted blocks relayed as announces
 	gossipFetchesSent     *telemetry.Counter // FrameGetBlock requests issued
@@ -220,6 +253,7 @@ type nodeMetrics struct {
 	wireRepairBytes    *telemetry.Counter
 	wireBlockBytes     *telemetry.Counter
 	wireAnnounceBytes  *telemetry.Counter
+	wireSnapshotBytes  *telemetry.Counter // snapshot request/chunk frames alone
 
 	dataFetchExpired *telemetry.Counter // pending fetches dropped by FetchTimeout
 	height           *telemetry.Gauge
@@ -265,6 +299,17 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		underReplicated:   reg.Gauge("livenode.repair.under_replicated"),
 		deadNodes:         reg.Gauge("livenode.repair.dead_nodes"),
 
+		bootRequests:       reg.Counter("livenode.bootstrap.requests"),
+		bootChunks:         reg.Counter("livenode.bootstrap.chunks"),
+		bootBytes:          reg.Counter("livenode.bootstrap.bytes"),
+		bootInstalled:      reg.Counter("livenode.bootstrap.installed"),
+		bootFallbacks:      reg.Counter("livenode.bootstrap.fallbacks"),
+		bootServed:         reg.Counter("livenode.bootstrap.served"),
+		pruneRuns:          reg.Counter("livenode.prune.runs"),
+		pruneBodies:        reg.Counter("livenode.prune.bodies"),
+		pruneHorizon:       reg.Gauge("livenode.prune.horizon"),
+		snapshotsPersisted: reg.Counter("livenode.prune.snapshots_persisted"),
+
 		gossipRelays:          reg.Counter("livenode.gossip.relays"),
 		gossipFetchesSent:     reg.Counter("livenode.gossip.fetches_sent"),
 		gossipFetchesServed:   reg.Counter("livenode.gossip.fetches_served"),
@@ -277,6 +322,7 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		wireRepairBytes:    reg.Counter("livenode.wire.repair_bytes"),
 		wireBlockBytes:     reg.Counter("livenode.wire.block_bytes"),
 		wireAnnounceBytes:  reg.Counter("livenode.wire.announce_bytes"),
+		wireSnapshotBytes:  reg.Counter("livenode.wire.snapshot_bytes"),
 	}
 	if reg != nil {
 		m.sGauges = make([]*telemetry.Gauge, rosterN)
@@ -330,6 +376,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 32
+	}
+	if cfg.PruneDepth < 0 {
+		cfg.PruneDepth = 0
 	}
 	if cfg.VerifyWorkers <= 0 {
 		cfg.VerifyWorkers = 4
@@ -421,6 +470,11 @@ func New(cfg Config) (*Node, error) {
 		StorageCapacity:    cfg.StorageCapacity,
 		InitialRecentDepth: 1,
 		SnapshotInterval:   cfg.SnapshotEvery,
+		// Pruning needs finality below the horizon: run the engine's
+		// consensus checkpoints at the prune depth (disabled when 0).
+		CheckpointInterval: cfg.PruneDepth,
+		PruneDepth:         cfg.PruneDepth,
+		OnPrune:            n.onPrune,
 		VerifyWorkers:      cfg.VerifyWorkers,
 		Liveness:           liveness,
 		RepairMaxPerBlock:  repairMax,
@@ -448,6 +502,24 @@ func New(cfg Config) (*Node, error) {
 	}
 
 	n.mu.Lock()
+	// A fresh node configured for snapshot bootstrap must not mine before
+	// its first Connect: sealing even one local block makes the engine
+	// non-fresh, which forfeits the bootstrap and — against a peer that
+	// has pruned the fork point — leaves the two chains permanently
+	// split. Mining is released by the first bootstrap attempt, by any
+	// block adoption, or by a grace deadline if no peer ever answers.
+	if cfg.BootstrapSnapshot && n.eng.Height() == 0 {
+		n.bootHold = true
+		grace := cfg.SyncTimeout * time.Duration(cfg.SyncRetries+1)
+		n.clock.AfterFunc(grace, func() {
+			n.mu.Lock()
+			if n.bootHold && n.boot == nil && !n.closed {
+				n.bootHold = false
+				n.scheduleMiningLocked()
+			}
+			n.mu.Unlock()
+		})
+	}
 	n.scheduleMiningLocked()
 	n.scheduleRepairLocked()
 	n.mu.Unlock()
@@ -478,6 +550,13 @@ func (n *Node) Connect(addrs ...string) error {
 		// Bind our roster index to our address on every new peer right
 		// away, rather than waiting out a probe period.
 		n.bcast(p2p.FrameRepairAnnounce, announce)
+	}
+	// A fresh node configured for snapshot bootstrap asks its first peer
+	// for the finalized state instead of syncing history from genesis
+	// (DESIGN.md §14); the locator probe runs once the snapshot is
+	// installed (or the attempt falls back).
+	if n.cfg.BootstrapSnapshot && len(addrs) > 0 && n.beginBootstrap(addrs[0]) {
+		return nil
 	}
 	n.sendSyncLocator("")
 	return nil
@@ -523,6 +602,27 @@ func (n *Node) BlockHashAt(h uint64) (block.Hash, bool) {
 	return b.Hash, true
 }
 
+// HeaderHashAt returns the hash of the header at height h, if the spine
+// still covers it. Unlike BlockHashAt it keeps answering for heights whose
+// bodies a pruning node has discarded.
+func (n *Node) HeaderHashAt(h uint64) (block.Hash, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hdr, ok := n.eng.Chain().HeaderAt(h)
+	if !ok {
+		return block.Hash{}, false
+	}
+	return hdr.Hash, true
+}
+
+// BodyBase returns the lowest height whose full block body this node still
+// retains (0 on an unpruned node).
+func (n *Node) BodyBase() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.Chain().BodyBase()
+}
+
 // HasItemOnChain reports whether an item with the given ID is recorded in
 // the node's chain replica.
 func (n *Node) HasItemOnChain(id meta.DataID) bool {
@@ -550,6 +650,7 @@ func (n *Node) Close() error {
 	}
 	n.clearSyncLocked()
 	n.clearGossipLocked()
+	n.clearBootstrapLocked()
 	tip := n.eng.Tip()
 	n.mu.Unlock()
 	netErr := n.net.Close()
@@ -576,6 +677,7 @@ func (n *Node) Kill() error {
 	}
 	n.clearSyncLocked()
 	n.clearGossipLocked()
+	n.clearBootstrapLocked()
 	n.mu.Unlock()
 	netErr := n.net.Close()
 	if err := n.store.Close(); err != nil && netErr == nil {

@@ -47,6 +47,9 @@ func (n *Node) onAppend(ev engine.AppendEvent) {
 		if n.sinceCkpt >= n.cfg.CheckpointEvery {
 			n.sinceCkpt = 0
 			n.noteStoreErrLocked(n.store.Checkpoint(b.Index, b.Hash))
+			if n.cfg.PruneDepth > 0 {
+				n.persistSnapshotLocked()
+			}
 			n.pruneExpiredLocked()
 		}
 	}
@@ -90,20 +93,51 @@ func (n *Node) onAppend(ev engine.AppendEvent) {
 	}
 }
 
-// replayRecovered replays blocks the store recovered from its WAL into
-// the chain replica, before networking starts. Each block runs the normal
-// engine state transitions; the first failure stops the replay and
+// replayRecovered rebuilds the chain replica from the store before
+// networking starts. A persisted snapshot (pruned node or earlier
+// snapshot bootstrap) is installed first — anchoring the replica without
+// replaying pruned history — then the WAL blocks above the anchor run the
+// normal engine state transitions. The first failure stops the replay and
 // rewrites the WAL to the surviving prefix so the corruption cannot
 // resurface.
 func (n *Node) replayRecovered() {
 	recovered := n.store.RecoveredBlocks()
-	if len(recovered) == 0 {
+	blob, spine, snapHeight, haveSnap := n.store.RecoveredSnapshot()
+	if len(recovered) == 0 && !haveSnap {
 		return
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.replaying = true
 	defer func() { n.replaying = false }()
+	if haveSnap {
+		snap, err := engine.DecodeSnapshot(blob)
+		if err == nil {
+			err = n.eng.BootstrapFromSnapshot(snap)
+		}
+		if err != nil {
+			// The persisted snapshot is unusable. Blocks that don't reach
+			// back to genesis are unreachable without it; drop them and
+			// start clean rather than replay a gapped chain.
+			n.noteStoreErrLocked(err)
+			if len(recovered) > 0 && recovered[0].Index != 1 {
+				recovered = nil
+			}
+			n.noteStoreErrLocked(n.store.ResetChain(recovered))
+		} else {
+			n.persistedSnap = snapHeight
+			if len(spine) > 0 {
+				n.noteStoreErrLocked(n.eng.Chain().BackfillSpine(spine))
+			}
+			// Compaction keeps whole segments, so the WAL may still hold
+			// blocks at or below the anchor; the snapshot already covers
+			// them.
+			for len(recovered) > 0 && recovered[0].Index <= snapHeight {
+				recovered = recovered[1:]
+			}
+			n.updateChainGauges()
+		}
+	}
 	for i, b := range recovered {
 		if err := n.eng.AppendTrusted(b); err != nil {
 			n.noteStoreErrLocked(err)
@@ -133,8 +167,19 @@ func (n *Node) scheduleMiningLocked() {
 		n.mineTimer.Stop()
 		n.mineTimer = nil
 	}
-	if n.closed {
+	if n.closed || n.boot != nil {
+		// While a snapshot bootstrap is in flight the engine must stay at
+		// height 0; the session's end rearms mining.
 		return
+	}
+	if n.bootHold {
+		if n.eng.Height() == 0 {
+			// Fresh node waiting for its first snapshot-bootstrap attempt.
+			return
+		}
+		// The chain grew some other way (peer push, locator sync) — the
+		// bootstrap window is over.
+		n.bootHold = false
 	}
 	r, ok := n.eng.NextRound()
 	if !ok {
@@ -190,6 +235,16 @@ func (n *Node) mine(r engine.Round) {
 func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 	// Any frame from a mapped address is passive liveness evidence.
 	n.noteFrameFrom(from)
+	// While a snapshot bootstrap is in flight, adopting any block would
+	// void the fresh-engine precondition of the pending install; chain
+	// frames are dropped and the suffix is caught up after the install
+	// (or the fallback) through the usual locator round.
+	switch ft {
+	case p2p.FrameBlock, p2p.FrameBlockAnnounce, p2p.FrameChain, p2p.FrameSyncHeaders, p2p.FrameSyncBatch:
+		if n.bootstrapPending() {
+			return
+		}
+	}
 	switch ft {
 	case p2p.FrameRepairAnnounce:
 		n.handleRepairAnnounce(from, payload)
@@ -243,9 +298,23 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 
 	case p2p.FrameChainRequest:
 		n.mu.Lock()
-		payload := encodeChain(n.eng.Chain().Blocks())
+		var payload []byte
+		if n.eng.Chain().BodyBase() == 0 {
+			payload = encodeChain(n.eng.Chain().Blocks())
+		}
 		n.mu.Unlock()
-		n.send(from, p2p.FrameChain, payload)
+		// A pruned replica no longer holds the full chain; it cannot serve
+		// the legacy whole-chain exchange and stays silent (the requester
+		// times out and tries another peer or the locator path).
+		if payload != nil {
+			n.send(from, p2p.FrameChain, payload)
+		}
+
+	case p2p.FrameGetSnapshot:
+		n.handleGetSnapshot(from)
+
+	case p2p.FrameSnapshot:
+		n.handleSnapshot(from, payload)
 
 	case p2p.FrameChain:
 		blocks, err := decodeChain(payload)
@@ -376,8 +445,20 @@ func (n *Node) adoptChain(blocks []*block.Block) {
 	}
 	// The persisted chain was replaced wholesale; rewrite the WAL to
 	// match (genesis is never persisted).
-	n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))
+	n.noteStoreErrLocked(n.store.ResetChain(n.walBlocksLocked()))
 	n.scheduleMiningLocked()
+}
+
+// walBlocksLocked returns every block body the chain replica holds minus
+// genesis (which is derived from the seed, never persisted) — the exact
+// set ResetChain must write. On a pruned replica the window base is a
+// real block and is kept (n.mu held).
+func (n *Node) walBlocksLocked() []*block.Block {
+	bs := n.eng.Chain().Blocks()
+	if len(bs) > 0 && bs[0].Index == 0 {
+		bs = bs[1:]
+	}
+	return bs
 }
 
 // encodeChain serializes a whole chain: count, then length-prefixed blocks.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package livenode
+
+const raceEnabled = false

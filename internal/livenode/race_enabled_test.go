@@ -1,0 +1,7 @@
+//go:build race
+
+package livenode
+
+// raceEnabled lets heavyweight scale tests shrink their workload when the
+// race detector multiplies their cost.
+const raceEnabled = true

@@ -57,8 +57,9 @@ func TestRecoveryAfterTornWAL(t *testing.T) {
 	}
 
 	// Count the durably-logged blocks, then simulate the crash: tear the
-	// last WAL record mid-payload.
-	walPath := filepath.Join(dirA, "wal.log")
+	// last WAL record mid-payload. The segmented WAL names its first
+	// segment after its first block index (block 1).
+	walPath := filepath.Join(dirA, "wal-00000000000000000001.log")
 	persisted, err := store.RecoverWAL(walPath)
 	if err != nil {
 		t.Fatal(err)

@@ -417,6 +417,11 @@ func (n *Node) countWire(ft byte, payloadLen, copies int) {
 		n.tel.wireConsensusBytes.Add(bytes)
 		n.tel.wireBlockBytes.Add(bytes)
 		n.tel.wireAnnounceBytes.Add(bytes)
+	case p2p.FrameGetSnapshot, p2p.FrameSnapshot:
+		// Snapshot bootstrap traffic (DESIGN.md §14) — split out so the
+		// cold-join gate can compare it against suffix-sync bytes.
+		n.tel.wireConsensusBytes.Add(bytes)
+		n.tel.wireSnapshotBytes.Add(bytes)
 	default:
 		n.tel.wireConsensusBytes.Add(bytes)
 	}

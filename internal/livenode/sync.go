@@ -338,8 +338,19 @@ func (n *Node) buildSyncHeadersLocked(loc []chain.LocatorEntry) []byte {
 	if to > fork+maxSyncHeaders {
 		to = fork + maxSyncHeaders
 	}
-	h := syncHeaders{Fork: fork, ForkHash: ch.At(fork).Hash, Tip: ch.Height()}
-	for _, b := range ch.Range(fork+1, to) {
+	// The fork point may lie below a pruned replica's body window; its
+	// header is always known (header spine), but the suffix bodies may
+	// not be servable — then stay silent and let an unpruned peer answer.
+	hdr, ok := ch.HeaderAt(fork)
+	if !ok {
+		return nil
+	}
+	blocks := ch.Range(fork+1, to)
+	if fork < to && len(blocks) == 0 {
+		return nil
+	}
+	h := syncHeaders{Fork: fork, ForkHash: hdr.Hash, Tip: ch.Height()}
+	for _, b := range blocks {
 		h.Headers = append(h.Headers, chain.LocatorEntry{Height: b.Index, Hash: b.Hash})
 	}
 	return encodeSyncHeaders(h)
@@ -358,8 +369,8 @@ func (n *Node) handleSyncHeaders(from string, h syncHeaders) {
 		n.mu.Unlock()
 		return // peer has nothing we lack
 	}
-	ours := n.eng.Chain().At(h.Fork)
-	if ours == nil || ours.Hash != h.ForkHash {
+	ours, ok := n.eng.Chain().HeaderAt(h.Fork)
+	if !ok || ours.Hash != h.ForkHash {
 		n.mu.Unlock()
 		return // peer disagrees about our own chain: ignore the offer
 	}
@@ -554,7 +565,7 @@ func (n *Node) adoptSyncSuffixLocked(suffix []*block.Block) bool {
 	// Bytes saved vs. the legacy whole-chain exchange: FrameChain would
 	// have shipped every block we already held.
 	saved := 0
-	for _, b := range n.eng.Chain().Blocks()[1:] {
+	for _, b := range n.walBlocksLocked() {
 		saved += b.EncodedSize()
 	}
 	for _, b := range suffix {
@@ -575,13 +586,16 @@ func (n *Node) adoptSyncSuffixLocked(suffix []*block.Block) bool {
 			if n.sinceCkpt >= n.cfg.CheckpointEvery {
 				n.sinceCkpt = 0
 				n.noteStoreErrLocked(n.store.Checkpoint(b.Index, b.Hash))
+				if n.cfg.PruneDepth > 0 {
+					n.persistSnapshotLocked()
+				}
 				n.pruneExpiredLocked()
 			}
 		}
 	} else {
 		// True fork: the persisted chain below the old tip changed.
 		n.tel.forkAdoptions.Inc()
-		n.noteStoreErrLocked(n.store.ResetChain(n.eng.Chain().Blocks()[1:]))
+		n.noteStoreErrLocked(n.store.ResetChain(n.walBlocksLocked()))
 	}
 	// Fetch data content this node is newly assigned to store — the same
 	// side effect onAppend applies to live blocks. Re-announcements of

@@ -9,7 +9,7 @@ import (
 // maxFrameType is the highest defined frame type; per-type counters index
 // into a fixed array so the frame path never allocates. Slot 0 collects
 // unknown types.
-const maxFrameType = FrameGetBlock
+const maxFrameType = FrameSnapshot
 
 // frameNames spells each frame type for metric names.
 var frameNames = [maxFrameType + 1]string{
@@ -17,6 +17,7 @@ var frameNames = [maxFrameType + 1]string{
 	"sync_locator", "sync_headers", "sync_get_batch", "sync_batch",
 	"repair_announce", "repair_get", "repair_data",
 	"block_announce", "get_block",
+	"get_snapshot", "snapshot",
 }
 
 // Metrics bundles the transport's counters. All fields are nil-safe

@@ -76,6 +76,13 @@ const (
 	// FrameGetBlock asks the announcer for the full block behind a
 	// 32-byte header hash.
 	FrameGetBlock
+	// FrameGetSnapshot asks a peer for its latest finalized state snapshot
+	// (snapshot bootstrap, DESIGN.md §14). Empty payload.
+	FrameGetSnapshot
+	// FrameSnapshot carries one chunk of a serialized state snapshot:
+	// height, total length, content hash, chunk index/count, then the chunk
+	// bytes. A chunk count of zero means "no snapshot available".
+	FrameSnapshot
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) against corrupt length

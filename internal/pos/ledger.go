@@ -205,6 +205,47 @@ func (l *Ledger) Rebuild(blocks []*block.Block) error {
 	return nil
 }
 
+// LedgerState is the chain-derived portion of a ledger in exportable form,
+// used by the engine's serializable snapshots (DESIGN.md §14). Slices index
+// by node ID, matching the roster the ledger was built with.
+type LedgerState struct {
+	Mined   []uint64
+	Stored  []uint64
+	Rented  []int64
+	Applied uint64
+	Scale   float64
+}
+
+// ExportState copies out the ledger's chain-derived state.
+func (l *Ledger) ExportState() LedgerState {
+	return LedgerState{
+		Mined:   append([]uint64(nil), l.mined...),
+		Stored:  append([]uint64(nil), l.stored...),
+		Rented:  append([]int64(nil), l.rented...),
+		Applied: l.applied,
+		Scale:   l.scale,
+	}
+}
+
+// RestoreState overwrites the ledger's chain-derived state from an
+// exported snapshot; the roster (and therefore the slice lengths) must
+// match the one the ledger was constructed with.
+func (l *Ledger) RestoreState(st LedgerState) error {
+	if len(st.Mined) != l.N() || len(st.Stored) != l.N() || len(st.Rented) != l.N() {
+		return fmt.Errorf("pos: snapshot roster size %d/%d/%d, ledger has %d nodes",
+			len(st.Mined), len(st.Stored), len(st.Rented), l.N())
+	}
+	if st.Scale < 1 {
+		return fmt.Errorf("pos: snapshot scale %v below 1", st.Scale)
+	}
+	copy(l.mined, st.Mined)
+	copy(l.stored, st.Stored)
+	copy(l.rented, st.Rented)
+	l.applied = st.Applied
+	l.scale = st.Scale
+	return nil
+}
+
 // Rescale divides all effective stakes by ratio (> 1). Per Section V-B
 // this is applied "after a certain number of blocks" purely to keep B's
 // magnitude manageable; R_i values are unchanged because B grows by the

@@ -17,7 +17,7 @@ func BenchmarkWALAppend(b *testing.B) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncBatch, SyncNone} {
 		b.Run(policy.String(), func(b *testing.B) {
 			genesis := block.Genesis(1)
-			w, err := OpenWAL(b.TempDir()+"/wal.log", Options{Sync: policy})
+			w, err := OpenWAL(b.TempDir(), Options{Sync: policy}, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

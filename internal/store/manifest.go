@@ -20,6 +20,14 @@ type Manifest struct {
 	Head string `json:"head"`
 	// WALBytes is the WAL size at checkpoint time (informational).
 	WALBytes int64 `json:"wal_bytes"`
+	// SnapshotHeight is the height of the persisted state snapshot
+	// (snapshot-<height>.bin / spine-<height>.bin), 0 when none.
+	SnapshotHeight uint64 `json:"snapshot_height,omitempty"`
+	// SnapshotHash is the hex SHA-256 of the snapshot blob; restore
+	// refuses a blob that does not hash to it.
+	SnapshotHash string `json:"snapshot_hash,omitempty"`
+	// SpineHash is the hex SHA-256 of the persisted spine file.
+	SpineHash string `json:"spine_hash,omitempty"`
 }
 
 // LoadManifest reads a manifest; a missing file returns a zero Manifest.

@@ -13,6 +13,9 @@ type Metrics struct {
 	WALAppendNs, WALFsyncNs *telemetry.Histogram
 	// WALAppends / WALSyncs count operations.
 	WALAppends, WALSyncs *telemetry.Counter
+	// WALSegmentsSealed counts segment rolls; WALSegmentsCompacted counts
+	// sealed segment files deleted below the prune horizon.
+	WALSegmentsSealed, WALSegmentsCompacted *telemetry.Counter
 	// RecoveredBlocks counts blocks replayed from the WAL at Open;
 	// RecoveryDropped counts scanned blocks discarded by validation.
 	RecoveredBlocks, RecoveryDropped *telemetry.Counter
@@ -27,16 +30,18 @@ type Metrics struct {
 // NewMetrics registers the store metric set under reg (names "store.*").
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	return &Metrics{
-		WALAppendNs:     reg.Histogram("store.wal.append_ns"),
-		WALFsyncNs:      reg.Histogram("store.wal.fsync_ns"),
-		WALAppends:      reg.Counter("store.wal.appends"),
-		WALSyncs:        reg.Counter("store.wal.syncs"),
-		RecoveredBlocks: reg.Counter("store.recovery.blocks"),
-		RecoveryDropped: reg.Counter("store.recovery.dropped"),
-		DataReads:       reg.Counter("store.data.reads"),
-		DataWrites:      reg.Counter("store.data.writes"),
-		LRUHits:         reg.Counter("store.lru.hits"),
-		LRUMisses:       reg.Counter("store.lru.misses"),
+		WALAppendNs:          reg.Histogram("store.wal.append_ns"),
+		WALFsyncNs:           reg.Histogram("store.wal.fsync_ns"),
+		WALAppends:           reg.Counter("store.wal.appends"),
+		WALSyncs:             reg.Counter("store.wal.syncs"),
+		WALSegmentsSealed:    reg.Counter("store.wal.segments_sealed"),
+		WALSegmentsCompacted: reg.Counter("store.wal.segments_compacted"),
+		RecoveredBlocks:      reg.Counter("store.recovery.blocks"),
+		RecoveryDropped:      reg.Counter("store.recovery.dropped"),
+		DataReads:            reg.Counter("store.data.reads"),
+		DataWrites:           reg.Counter("store.data.writes"),
+		LRUHits:              reg.Counter("store.lru.hits"),
+		LRUMisses:            reg.Counter("store.lru.misses"),
 	}
 }
 

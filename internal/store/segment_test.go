@@ -1,0 +1,126 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSegmentStart(t *testing.T) {
+	cases := []struct {
+		name  string
+		start uint64
+		ok    bool
+	}{
+		{"wal-00000000000000000001.log", 1, true},
+		{"wal-42.log", 42, true},
+		{"wal-.log", 0, false},
+		{"wal-abc.log", 0, false},
+		{"wal-1.log.tmp", 0, false},
+		{"manifest.json", 0, false},
+		{"wal.log", 0, false},
+	}
+	for _, tc := range cases {
+		start, ok := parseSegmentStart(tc.name)
+		if ok != tc.ok || start != tc.start {
+			t.Errorf("parseSegmentStart(%q) = (%d, %v), want (%d, %v)", tc.name, start, ok, tc.start, tc.ok)
+		}
+	}
+}
+
+// TestLegacyWALMigration: a pre-segmentation wal.log is renamed into
+// segment form on open and its blocks recovered; an empty legacy log is
+// simply dropped.
+func TestLegacyWALMigration(t *testing.T) {
+	t.Run("populated", func(t *testing.T) {
+		dir := t.TempDir()
+		blocks := testChain(t, 5)
+		if err := WriteWAL(filepath.Join(dir, legacyWALFile), blocks[1:]); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		defer s.Close()
+		if got := len(s.RecoveredBlocks()); got != 5 {
+			t.Fatalf("recovered %d blocks from migrated legacy wal, want 5", got)
+		}
+		if _, err := os.Stat(filepath.Join(dir, legacyWALFile)); !os.IsNotExist(err) {
+			t.Fatal("legacy wal.log still present after migration")
+		}
+		if _, err := os.Stat(segmentPath(dir, 1)); err != nil {
+			t.Fatalf("migrated segment missing: %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, legacyWALFile), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		defer s.Close()
+		if got := len(s.RecoveredBlocks()); got != 0 {
+			t.Fatalf("recovered %d blocks from empty legacy wal", got)
+		}
+		if _, err := os.Stat(filepath.Join(dir, legacyWALFile)); !os.IsNotExist(err) {
+			t.Fatal("empty legacy wal.log not removed")
+		}
+	})
+}
+
+// TestRecoverSegmentEdgeCases drives recoverSegments through its cut
+// rules: an empty final segment is harmless, an empty mid-log segment or
+// a file whose first block disagrees with its name cuts the log there and
+// unlinks the orphaned tail.
+func TestRecoverSegmentEdgeCases(t *testing.T) {
+	blocks := testChain(t, 8)
+
+	t.Run("empty-final-segment", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := WriteWAL(segmentPath(dir, 1), blocks[1:5]); err != nil {
+			t.Fatal(err)
+		}
+		// Crash right after a roll: the fresh segment exists but is empty.
+		if err := os.WriteFile(segmentPath(dir, 5), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		defer s.Close()
+		if got := len(s.RecoveredBlocks()); got != 4 {
+			t.Fatalf("recovered %d blocks, want 4", got)
+		}
+	})
+	t.Run("empty-mid-segment", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 1), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteWAL(segmentPath(dir, 5), blocks[5:9]); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		defer s.Close()
+		if got := len(s.RecoveredBlocks()); got != 0 {
+			t.Fatalf("recovered %d blocks across an empty mid-log segment", got)
+		}
+		if _, err := os.Stat(segmentPath(dir, 5)); !os.IsNotExist(err) {
+			t.Fatal("orphaned tail segment not unlinked")
+		}
+	})
+	t.Run("name-start-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := WriteWAL(segmentPath(dir, 1), blocks[1:5]); err != nil {
+			t.Fatal(err)
+		}
+		// A segment named for block 5 that actually starts at block 6.
+		if err := WriteWAL(segmentPath(dir, 5), blocks[6:9]); err != nil {
+			t.Fatal(err)
+		}
+		s := openStore(t, dir, Options{Sync: SyncAlways})
+		defer s.Close()
+		if got := len(s.RecoveredBlocks()); got != 4 {
+			t.Fatalf("recovered %d blocks, want the 4 before the mismatched segment", got)
+		}
+		if _, err := os.Stat(segmentPath(dir, 5)); !os.IsNotExist(err) {
+			t.Fatal("mismatched segment not unlinked")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 // Package store provides the durable persistence layer for a live edge
-// node: an append-only block WAL, a content-addressed data-item store and
-// crash recovery (torn-tail truncation + manifest checkpoints).
+// node: an append-only segmented block WAL, a content-addressed data-item
+// store, persisted state snapshots and crash recovery (torn-tail
+// truncation + manifest checkpoints).
 //
 // The paper's premise is that edge nodes "leave the network and disconnect
 // from others frequently" (Section I); the recent-block allocation of
@@ -8,18 +9,24 @@
 // within a few hops. That story needs the node to survive a process
 // restart with its chain intact, which this package provides:
 //
-//   - wal.log        append-only block WAL (length + CRC32 framed records,
-//     each payload an internal/block wire encoding)
-//   - data/xx/<hash> content-addressed data items (temp-file + rename)
-//   - manifest.json  checkpoint (chain head + height) making replay
-//     verification incremental
+//   - wal-<idx>.log   append-only block WAL segments (length + CRC32
+//     framed records, each payload an internal/block wire encoding),
+//     sealed every SegmentBlocks appends so history below the prune
+//     horizon compacts by whole-file unlink
+//   - data/xx/<hash>  content-addressed data items (temp-file + rename)
+//   - snapshot-<h>.bin / spine-<h>.bin  serialized engine state + header
+//     spine at the latest finalized snapshot height, letting a restart
+//     (or a fresh node, over the wire) skip replaying pruned history
+//   - manifest.json   checkpoint (chain head + height + snapshot hashes)
+//     making replay verification incremental and snapshot use safe
 //
-// On Open the WAL is scanned, a torn tail record is truncated away, hash
-// links are verified, and the surviving blocks are handed to the caller to
-// replay into its chain.Chain / storage view. Blocks at or below the last
-// checkpoint height skip the expensive per-item signature re-verification:
-// their integrity is already covered by the record CRC and the hash-link
-// walk.
+// On Open the segments are scanned in index order, torn tails and
+// discontinuous stale segments are cut away, hash links are verified, and
+// the surviving blocks are handed to the caller to replay on top of the
+// recovered snapshot (or from genesis when no valid snapshot exists).
+// Blocks at or below the last checkpoint height skip the expensive
+// per-item signature re-verification: their integrity is already covered
+// by the record CRC and the hash-link walk.
 package store
 
 import (
@@ -29,11 +36,13 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/chain"
 	"repro/internal/meta"
 )
 
-// Store is the durable node store: block WAL + content-addressed data
-// items + checkpoint manifest. It is safe for concurrent use.
+// Store is the durable node store: segmented block WAL + content-addressed
+// data items + state snapshots + checkpoint manifest. It is safe for
+// concurrent use.
 type Store struct {
 	dir  string
 	wal  *WAL
@@ -42,6 +51,12 @@ type Store struct {
 	mu        sync.Mutex
 	recovered []*block.Block
 	manifest  Manifest
+
+	// Recovered snapshot (valid only when snapOK).
+	snapBlob   []byte
+	snapSpine  []chain.Header
+	snapHeight uint64
+	snapOK     bool
 }
 
 // Options configures a Store.
@@ -53,6 +68,9 @@ type Options struct {
 	// BatchInterval fsyncs when this much time has passed since the last
 	// sync under SyncBatch (default 500ms).
 	BatchInterval int64 // nanoseconds; 0 = default
+	// SegmentBlocks seals a WAL segment after this many appends (default
+	// DefaultSegmentBlocks). Smaller segments compact at a finer grain.
+	SegmentBlocks int
 	// CacheBytes bounds the data-item LRU read cache (default 64 MiB).
 	CacheBytes int
 	// Metrics, when non-nil, receives the store's instrumentation (see
@@ -61,40 +79,64 @@ type Options struct {
 }
 
 const (
-	walFile      = "wal.log"
-	manifestFile = "manifest.json"
-	dataDir      = "data"
+	legacyWALFile = "wal.log"
+	manifestFile  = "manifest.json"
+	dataDir       = "data"
 )
 
 // Open opens (or creates) the store rooted at dir and runs crash
-// recovery: the WAL is scanned, a torn or corrupt tail is truncated, and
-// the surviving block sequence is validated (hash links always; full
-// content verification only above the checkpoint height). The recovered
-// blocks are available via RecoveredBlocks.
+// recovery: WAL segments are scanned, torn or stale tails are cut, the
+// persisted snapshot (if any) is hash-verified, and the surviving block
+// sequence is validated (hash links always; full content verification
+// only above the checkpoint height). The recovered blocks are available
+// via RecoveredBlocks, the snapshot via RecoveredSnapshot.
 func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: mkdir: %w", err)
 	}
 	man, err := LoadManifest(filepath.Join(dir, manifestFile))
 	if err != nil {
-		// A corrupt manifest costs only the verification shortcut.
+		// A corrupt manifest costs only the verification shortcut (and any
+		// snapshot, which cannot be trusted without its manifest hash).
 		man = Manifest{}
 	}
 	m := opts.Metrics.orInert()
-	blocks, err := RecoverWAL(filepath.Join(dir, walFile))
+	if err := migrateLegacyWAL(dir); err != nil {
+		return nil, err
+	}
+	blob, spine, snapHeight, snapOK := loadSnapshot(dir, man)
+	blocks, layout, err := recoverSegments(dir)
 	if err != nil {
 		return nil, err
 	}
 	scanned := len(blocks)
 	blocks = validatePrefix(blocks, man.Height)
+	if !snapOK && len(blocks) > 0 && blocks[0].Index != 1 {
+		// The blocks start mid-chain (a pruned node's log) but the snapshot
+		// that anchored them is missing or corrupt. They cannot be replayed
+		// from genesis; fall back cleanly to an empty chain.
+		blocks = nil
+		man = Manifest{}
+		if err := SaveManifest(filepath.Join(dir, manifestFile), man); err != nil {
+			return nil, err
+		}
+	}
+	if snapOK && len(blocks) > 0 && blocks[0].Index > snapHeight+1 {
+		// Gap between the snapshot anchor and the first persisted block:
+		// the blocks are unreachable, drop them (keep the snapshot).
+		blocks = nil
+	}
 	m.RecoveredBlocks.Add(len(blocks))
 	m.RecoveryDropped.Add(scanned - len(blocks))
 	// If validation dropped blocks beyond what the scan kept, rewrite the
-	// WAL to the surviving prefix so the file and memory agree.
-	if err := rewriteIfShorter(filepath.Join(dir, walFile), blocks); err != nil {
-		return nil, err
+	// segments to the surviving prefix so disk and memory agree.
+	if len(blocks) < scanned {
+		layout, err = writeSegments(dir, blocks, opts.SegmentBlocks)
+		if err != nil {
+			return nil, err
+		}
 	}
-	w, err := OpenWAL(filepath.Join(dir, walFile), opts)
+	w, err := OpenWAL(dir, opts, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +146,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	ds.setMetrics(m)
-	return &Store{dir: dir, wal: w, data: ds, recovered: blocks, manifest: man}, nil
+	return &Store{
+		dir: dir, wal: w, data: ds, recovered: blocks, manifest: man,
+		snapBlob: blob, snapSpine: spine, snapHeight: snapHeight, snapOK: snapOK,
+	}, nil
 }
 
 // validatePrefix returns the longest prefix of blocks that forms a valid
@@ -129,25 +174,12 @@ func validatePrefix(blocks []*block.Block, checkpointHeight uint64) []*block.Blo
 	return blocks
 }
 
-// rewriteIfShorter rewrites the WAL when validation kept fewer blocks than
-// the scan decoded, so a corrupt middle record cannot resurface.
-func rewriteIfShorter(path string, keep []*block.Block) error {
-	scanned, size, err := ScanWAL(path)
-	if err != nil {
-		return err
-	}
-	if len(scanned) <= len(keep) {
-		return nil
-	}
-	_ = size
-	return WriteWAL(path, keep)
-}
-
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
 // RecoveredBlocks returns the blocks replayed from the WAL at Open, in
-// index order (the genesis block is never persisted). The caller replays
+// index order (the genesis block is never persisted; on a pruned node the
+// first block is the one after the snapshot anchor). The caller replays
 // them into its chain and must not modify the slice.
 func (s *Store) RecoveredBlocks() []*block.Block {
 	s.mu.Lock()
@@ -155,20 +187,52 @@ func (s *Store) RecoveredBlocks() []*block.Block {
 	return s.recovered
 }
 
+// RecoveredSnapshot returns the hash-verified state snapshot found at
+// Open: the serialized engine state blob, the header spine [1, height],
+// and the snapshot height. ok is false when no valid snapshot exists (the
+// caller replays RecoveredBlocks from genesis instead).
+func (s *Store) RecoveredSnapshot() (blob []byte, spine []chain.Header, height uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.snapOK {
+		return nil, nil, 0, false
+	}
+	return s.snapBlob, s.snapSpine, s.snapHeight, true
+}
+
 // AppendBlock durably appends one block to the WAL (durability subject to
 // the configured fsync policy).
 func (s *Store) AppendBlock(b *block.Block) error { return s.wal.Append(b) }
 
+// CompactBlocks unlinks sealed WAL segments that lie wholly below the
+// given height (the engine's prune horizon). The persisted snapshot plus
+// the remaining segments always reconstruct the node's state.
+func (s *Store) CompactBlocks(below uint64) error {
+	_, err := s.wal.CompactBelow(below)
+	return err
+}
+
+// WALSize returns the total on-disk WAL size in bytes.
+func (s *Store) WALSize() int64 { return s.wal.Size() }
+
+// WALSegments returns the number of on-disk WAL segment files.
+func (s *Store) WALSegments() int { return s.wal.Segments() }
+
 // ResetChain atomically replaces the WAL content with the given block
 // sequence (genesis excluded by the caller). Used after a fork
-// replacement adopts a longer chain wholesale.
+// replacement adopts a longer chain wholesale. The checkpoint is cleared
+// (it referenced the replaced history); any persisted snapshot is kept —
+// if the fork invalidated it, the next Open detects the mismatch against
+// the recovered blocks and the next checkpoint re-persists a fresh one.
 func (s *Store) ResetChain(blocks []*block.Block) error {
 	if err := s.wal.Reset(blocks); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.manifest = Manifest{}
+	s.manifest.Height = 0
+	s.manifest.Head = ""
+	s.manifest.WALBytes = 0
 	return SaveManifest(filepath.Join(s.dir, manifestFile), s.manifest)
 }
 
@@ -180,7 +244,9 @@ func (s *Store) Checkpoint(height uint64, head block.Hash) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.manifest = Manifest{Height: height, Head: head.String(), WALBytes: s.wal.Size()}
+	s.manifest.Height = height
+	s.manifest.Head = head.String()
+	s.manifest.WALBytes = s.wal.Size()
 	return SaveManifest(filepath.Join(s.dir, manifestFile), s.manifest)
 }
 

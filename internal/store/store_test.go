@@ -84,7 +84,7 @@ func TestTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	walPath := filepath.Join(dir, walFile)
+	walPath := segmentPath(dir, 1)
 	st, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestCorruptMiddleRecordKeepsPrefix(t *testing.T) {
 	}
 
 	// Flip one payload byte inside the second record.
-	walPath := filepath.Join(dir, walFile)
+	walPath := segmentPath(dir, 1)
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

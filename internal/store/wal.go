@@ -23,6 +23,12 @@ import (
 // truncates it. The writer opens the file with O_APPEND and serializes
 // appends with a mutex so concurrent miners (block adoption happens on
 // multiple goroutines in livenode) cannot interleave records.
+//
+// Since the finite-lifetime refactor (DESIGN.md §14) the log is segmented:
+// records land in `wal-<firstIndex>.log` files sealed every SegmentBlocks
+// appends, so CompactBelow can delete history wholly below the prune
+// horizon by unlinking whole files. The framing within each segment is
+// unchanged; ScanWAL/RecoverWAL/WriteWAL operate on one segment file.
 
 // SyncPolicy selects when the WAL fsyncs.
 type SyncPolicy int
@@ -74,44 +80,44 @@ const (
 	defaultBatchInterval = 500 * time.Millisecond
 )
 
-// WAL is the append-only block log writer.
+// WAL is the append-only segmented block log writer.
 type WAL struct {
-	path    string
+	dir     string
 	metrics *Metrics // never nil (orInert)
 
-	mu       sync.Mutex
-	f        *os.File
-	size     int64
-	policy   SyncPolicy
-	batchN   int
-	interval time.Duration
-	pending  int
-	lastSync time.Time
-	closed   bool
+	mu          sync.Mutex
+	f           *os.File // active segment handle; nil until first append
+	active      segmentInfo
+	sealed      []segmentInfo
+	sealedBytes int64
+	segBlocks   int
+	// nextIndex is the block index the next Append must carry (0 = any:
+	// an empty log accepts whatever height the first block has, which is
+	// how a snapshot-bootstrapped node starts persisting mid-chain).
+	nextIndex uint64
+	policy    SyncPolicy
+	batchN    int
+	interval  time.Duration
+	pending   int
+	lastSync  time.Time
+	closed    bool
 }
 
-// OpenWAL opens the WAL file for appending. The file is created if
-// missing; callers wanting recovery semantics should RecoverWAL first
-// (Store.Open does both).
-func OpenWAL(path string, opts Options) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open wal: %w", err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: stat wal: %w", err)
-	}
+// OpenWAL opens the segmented WAL in dir for appending, attaching to the
+// given recovered segment layout (from recoverSegments/writeSegments; nil
+// for a fresh directory). The newest segment becomes the active one.
+func OpenWAL(dir string, opts Options, layout []segmentInfo) (*WAL, error) {
 	w := &WAL{
-		path:     path,
-		metrics:  opts.Metrics.orInert(),
-		f:        f,
-		size:     st.Size(),
-		policy:   opts.Sync,
-		batchN:   opts.BatchN,
-		interval: time.Duration(opts.BatchInterval),
-		lastSync: time.Now(),
+		dir:       dir,
+		metrics:   opts.Metrics.orInert(),
+		segBlocks: opts.SegmentBlocks,
+		policy:    opts.Sync,
+		batchN:    opts.BatchN,
+		interval:  time.Duration(opts.BatchInterval),
+		lastSync:  time.Now(),
+	}
+	if w.segBlocks <= 0 {
+		w.segBlocks = DefaultSegmentBlocks
 	}
 	if w.batchN <= 0 {
 		w.batchN = defaultBatchN
@@ -119,10 +125,75 @@ func OpenWAL(path string, opts Options) (*WAL, error) {
 	if w.interval <= 0 {
 		w.interval = defaultBatchInterval
 	}
+	if err := w.attachLocked(layout); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
-// Append frames and writes one block, fsyncing per the policy.
+// attachLocked points the writer at an on-disk segment layout.
+func (w *WAL) attachLocked(layout []segmentInfo) error {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.sealed = nil
+	w.sealedBytes = 0
+	w.active = segmentInfo{}
+	w.nextIndex = 0
+	if len(layout) == 0 {
+		return nil
+	}
+	last := layout[len(layout)-1]
+	f, err := os.OpenFile(last.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open wal segment: %w", err)
+	}
+	w.f = f
+	w.active = last
+	w.sealed = append([]segmentInfo(nil), layout[:len(layout)-1]...)
+	for _, s := range w.sealed {
+		w.sealedBytes += s.bytes
+	}
+	if last.blocks > 0 {
+		w.nextIndex = last.lastIndex() + 1
+	} else if len(w.sealed) > 0 {
+		w.nextIndex = w.sealed[len(w.sealed)-1].lastIndex() + 1
+	}
+	return nil
+}
+
+// rollLocked seals the active segment (if any) and starts a new one whose
+// file name is keyed by the first block index it will hold.
+func (w *WAL) rollLocked(start uint64) error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: seal wal segment: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("store: seal wal segment: %w", err)
+		}
+		w.f = nil
+		w.sealed = append(w.sealed, w.active)
+		w.sealedBytes += w.active.bytes
+		w.metrics.WALSegmentsSealed.Inc()
+	}
+	path := segmentPath(w.dir, start)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create wal segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.active = segmentInfo{start: start, path: path}
+	return nil
+}
+
+// Append frames and writes one block, fsyncing per the policy. Blocks must
+// arrive in contiguous index order (Reset realigns after a fork).
 func (w *WAL) Append(b *block.Block) error {
 	payload := b.Encode()
 	if len(payload) > MaxRecordSize {
@@ -140,10 +211,20 @@ func (w *WAL) Append(b *block.Block) error {
 	if w.closed {
 		return errors.New("store: wal closed")
 	}
+	if w.nextIndex != 0 && b.Index != w.nextIndex {
+		return fmt.Errorf("store: wal append block %d, expected %d (use Reset for forks)", b.Index, w.nextIndex)
+	}
+	if w.f == nil || w.active.blocks >= w.segBlocks {
+		if err := w.rollLocked(b.Index); err != nil {
+			return err
+		}
+	}
 	if _, err := w.f.Write(rec); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
-	w.size += int64(len(rec))
+	w.active.bytes += int64(len(rec))
+	w.active.blocks++
+	w.nextIndex = b.Index + 1
 	w.pending++
 	w.metrics.WALAppends.Inc()
 	switch w.policy {
@@ -159,8 +240,10 @@ func (w *WAL) Append(b *block.Block) error {
 
 func (w *WAL) syncLocked() error {
 	start := time.Now()
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("store: wal sync: %w", err)
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
 	}
 	w.metrics.WALSyncs.Inc()
 	w.metrics.WALFsyncNs.ObserveSince(start)
@@ -179,41 +262,98 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
-// Size returns the current WAL size in bytes.
+// Size returns the total WAL size in bytes across all segments.
 func (w *WAL) Size() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.size
+	return w.sealedBytes + w.active.bytes
 }
 
-// Reset atomically replaces the WAL content with the given blocks
-// (temp-file + rename), used when a fork replacement rewrites the chain.
+// Segments returns the number of on-disk segment files.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.sealed)
+	if w.f != nil {
+		n++
+	}
+	return n
+}
+
+// FirstIndex returns the lowest block index the log still holds (ok=false
+// when the log is empty).
+func (w *WAL) FirstIndex() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.sealed {
+		if s.blocks > 0 {
+			return s.start, true
+		}
+	}
+	if w.f != nil && w.active.blocks > 0 {
+		return w.active.start, true
+	}
+	return 0, false
+}
+
+// CompactBelow unlinks sealed segments whose every block lies strictly
+// below the given height. The active segment is never removed. Returns the
+// number of segment files deleted.
+func (w *WAL) CompactBelow(height uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("store: wal closed")
+	}
+	removed := 0
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.blocks > 0 && s.lastIndex() < height {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				// Keep bookkeeping consistent with disk on failure.
+				kept = append(kept, s)
+				continue
+			}
+			w.sealedBytes -= s.bytes
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	if removed > 0 {
+		w.metrics.WALSegmentsCompacted.Add(removed)
+		if err := syncDir(w.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Reset atomically replaces the whole log content with the given blocks,
+// rewriting the segment set (temp-file + rename per segment, stale
+// segments unlinked, directory fsynced). Used when a fork replacement
+// rewrites the chain. A crash mid-Reset leaves a mix of old and new
+// segment files; recovery's contiguity and hash-link walk cuts the stale
+// tail rather than splicing old history onto the new prefix.
 func (w *WAL) Reset(blocks []*block.Block) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return errors.New("store: wal closed")
 	}
-	if err := WriteWAL(w.path, blocks); err != nil {
+	layout, err := writeSegments(w.dir, blocks, w.segBlocks)
+	if err != nil {
 		return err
 	}
-	// Reopen the append handle on the new file.
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: reopen wal: %w", err)
+	if err := w.attachLocked(layout); err != nil {
+		return err
 	}
-	w.f.Close()
-	w.f = f
-	st, err := f.Stat()
-	if err != nil {
-		return fmt.Errorf("store: stat wal: %w", err)
-	}
-	w.size = st.Size()
 	w.pending = 0
 	return nil
 }
 
-// Close fsyncs (unless SyncNone) and closes the file.
+// Close fsyncs (unless SyncNone) and closes the active segment.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -221,6 +361,9 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.f == nil {
+		return nil
+	}
 	var syncErr error
 	if w.policy != SyncNone {
 		syncErr = w.f.Sync()
@@ -231,10 +374,11 @@ func (w *WAL) Close() error {
 	return syncErr
 }
 
-// ScanWAL reads the WAL and returns every decodable block plus the byte
-// offset up to which the file is well-formed. A torn or corrupt record
-// (short header, short payload, CRC mismatch, undecodable block) ends the
-// scan; everything before it is returned. A missing file scans as empty.
+// ScanWAL reads one segment file and returns every decodable block plus
+// the byte offset up to which the file is well-formed. A torn or corrupt
+// record (short header, short payload, CRC mismatch, undecodable block)
+// ends the scan; everything before it is returned. A missing file scans as
+// empty.
 func ScanWAL(path string) (blocks []*block.Block, validSize int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -271,8 +415,8 @@ func ScanWAL(path string) (blocks []*block.Block, validSize int64, err error) {
 	}
 }
 
-// RecoverWAL scans the WAL and truncates any torn tail so the file ends
-// on a record boundary, returning the surviving blocks.
+// RecoverWAL scans one segment file and truncates any torn tail so the
+// file ends on a record boundary, returning the surviving blocks.
 func RecoverWAL(path string) ([]*block.Block, error) {
 	blocks, validSize, err := ScanWAL(path)
 	if err != nil {
@@ -293,9 +437,9 @@ func RecoverWAL(path string) ([]*block.Block, error) {
 	return blocks, nil
 }
 
-// WriteWAL writes a fresh WAL containing exactly the given blocks, via
-// temp-file + fsync + rename so a crash leaves either the old or the new
-// file, never a hybrid.
+// WriteWAL writes a fresh segment file containing exactly the given
+// blocks, via temp-file + fsync + rename + directory fsync so a crash
+// leaves either the old or the new file, never a hybrid.
 func WriteWAL(path string, blocks []*block.Block) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".wal-*")
@@ -327,5 +471,5 @@ func WriteWAL(path string, blocks []*block.Block) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: wal rewrite rename: %w", err)
 	}
-	return nil
+	return syncDir(dir)
 }
