@@ -63,6 +63,9 @@ func main() {
 		repairHyst = flag.Duration("repair-hysteresis", 0, "extra silence before a suspect peer is declared dead (0 = default 10s)")
 		gossip     = flag.Bool("gossip", true, "inv-style gossip block relay; false = legacy full-mesh block push")
 		gossipFan  = flag.Int("gossip-fanout", 0, "peers each block announce is relayed to (0 = default 6)")
+		metaGossip = flag.Bool("meta-gossip", true, "inv-style metadata relay; false = legacy full-mesh metadata push")
+		metaFan    = flag.Int("meta-fanout", 0, "peers each metadata announce is relayed to (0 = follow -gossip-fanout)")
+		probeFan   = flag.Int("probe-fanout", 0, "peers probed per liveness tick (0 = default 4); negative = legacy per-tick heartbeat broadcast")
 	)
 	flag.Parse()
 
@@ -74,6 +77,15 @@ func main() {
 		gossipFanout = -1 // legacy full-mesh push
 	} else if *gossipFan < 0 {
 		log.Fatalf("-gossip-fanout %d invalid: want >= 0 (or -gossip=false to disable)", *gossipFan)
+	}
+	metaFanout := *metaFan
+	if !*metaGossip {
+		if *metaFan > 0 {
+			log.Fatal("-meta-fanout set but -meta-gossip=false")
+		}
+		metaFanout = -1 // legacy full-mesh push
+	} else if *metaFan < 0 {
+		log.Fatalf("-meta-fanout %d invalid: want >= 0 (or -meta-gossip=false to disable)", *metaFan)
 	}
 
 	if *index < 0 || *index >= *rosterSize {
@@ -135,6 +147,7 @@ func main() {
 		VerifyWorkers: *verifyWrk,
 		SnapshotEvery: *snapEvery,
 		GossipFanout:  gossipFanout,
+		MetaFanout:    metaFanout,
 
 		PruneDepth:        *pruneDepth,
 		BootstrapSnapshot: *bootSnap,
@@ -142,6 +155,7 @@ func main() {
 		RepairWorkers:    *repairWrk,
 		RepairRate:       *repairRate,
 		RepairHysteresis: *repairHyst,
+		ProbeFanout:      *probeFan,
 		OnBlock: func(b *block.Block) {
 			log.Printf("adopted block %d by %s (%d items)", b.Index, b.Miner.Short(), len(b.Items))
 		},

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/netsim"
 	"repro/internal/ufl"
@@ -80,13 +81,15 @@ type Planner struct {
 }
 
 // NewPlanner returns a planner with the paper's parameters (A = 1000,
-// ≥ 2 replicas) and the greedy solver.
+// ≥ 2 replicas) and the greedy solver. Solve stays nil — the nil default
+// both means ufl.Greedy and tells Place it may use the exact closed-form
+// solution on clique topologies; setting any explicit solver (even
+// ufl.Greedy) disables that fast path.
 func NewPlanner(commRange float64) *Planner {
 	return &Planner{
 		FDCWeight:   DefaultFDCWeight,
 		MinReplicas: DefaultMinReplicas,
 		CommRange:   commRange,
-		Solve:       ufl.Greedy,
 	}
 }
 
@@ -134,6 +137,14 @@ func (p *Planner) Place(topo *netsim.Topology, nodes []NodeState) (*Placement, e
 	if len(nodes) != topo.N() {
 		return nil, fmt.Errorf("alloc: %d node states for %d topology nodes", len(nodes), topo.N())
 	}
+	if p.Solve == nil && topo.Clique() && uniformRanges(nodes) {
+		// One-hop clique with uniform mobility: eq. (3) separates per node
+		// and has an exact O(n) solution — skip the O(n²) instance and the
+		// greedy solver entirely. This is the live-deployment hot path:
+		// every mined block solves placement at least twice, and at 1000
+		// nodes the generic path costs seconds per solve.
+		return p.placeClique(nodes), nil
+	}
 	solve := p.Solve
 	if solve == nil {
 		solve = ufl.Greedy
@@ -161,6 +172,92 @@ func (p *Planner) Place(topo *netsim.Topology, nodes []NodeState) (*Placement, e
 		AccessFrom:   assign,
 		Cost:         ufl.CostOf(in, open, assign),
 	}, nil
+}
+
+// uniformRanges reports whether every node shares one mobility range, the
+// condition under which a clique's RDC matrix is a single constant off the
+// diagonal.
+func uniformRanges(nodes []NodeState) bool {
+	for _, st := range nodes[1:] {
+		if st.MobilityRange != nodes[0].MobilityRange {
+			return false
+		}
+	}
+	return true
+}
+
+// placeClique solves eq. (3) exactly on a one-hop clique with uniform
+// mobility ranges. There c_ij = c for every i ≠ j and 0 on the diagonal,
+// so the objective collapses to c·n + Σ_open (f_i − c): open exactly the
+// nodes whose weighted FDC is below c (each pays for itself by serving
+// its own demand), or the single cheapest node when none qualifies — node
+// 0 when every node is full, matching cheapestFallback, where all clique
+// connection totals tie. The MinReplicas top-up mirrors topUpReplicas:
+// every unopened non-full node offers the identical connection saving c,
+// so the marginal criterion reduces to FDC order with index ties.
+func (p *Planner) placeClique(nodes []NodeState) *Placement {
+	n := len(nodes)
+	c := 1 + (nodes[0].MobilityRange+nodes[0].MobilityRange)/p.CommRange
+	open := make([]int, 0, DefaultMinReplicas)
+	for i, st := range nodes {
+		if p.FDCWeight*FDC(st.Used, st.Capacity) < c {
+			open = append(open, i)
+		}
+	}
+	if len(open) == 0 {
+		best, bestF := 0, math.Inf(1)
+		for i, st := range nodes {
+			if f := p.FDCWeight * FDC(st.Used, st.Capacity); f < bestF {
+				best, bestF = i, f
+			}
+		}
+		open = append(open, best)
+	}
+	if len(open) < p.MinReplicas {
+		type cand struct {
+			f float64
+			i int
+		}
+		isOpen := make(map[int]bool, len(open))
+		for _, i := range open {
+			isOpen[i] = true
+		}
+		cands := make([]cand, 0, n)
+		for i, st := range nodes {
+			if isOpen[i] || st.Used >= st.Capacity {
+				continue
+			}
+			cands = append(cands, cand{p.FDCWeight * FDC(st.Used, st.Capacity), i})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].f != cands[b].f {
+				return cands[a].f < cands[b].f
+			}
+			return cands[a].i < cands[b].i
+		})
+		for _, cd := range cands {
+			if len(open) >= p.MinReplicas {
+				break
+			}
+			open = insertSorted(open, cd.i)
+		}
+	}
+	assign := make([]int, n)
+	isOpen := make([]bool, n)
+	cost := 0.0
+	for _, i := range open {
+		isOpen[i] = true
+		cost += p.FDCWeight * FDC(nodes[i].Used, nodes[i].Capacity)
+	}
+	for j := 0; j < n; j++ {
+		if isOpen[j] {
+			assign[j] = j
+		} else {
+			assign[j] = open[0]
+			cost += c
+		}
+	}
+	return &Placement{StoringNodes: open, AccessFrom: assign, Cost: cost}
 }
 
 // topUpReplicas extends the open set to MinReplicas by the UFL marginal

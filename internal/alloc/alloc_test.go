@@ -3,6 +3,7 @@ package alloc
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -369,5 +370,61 @@ func TestRecentCacheProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlaceCliqueMatchesGenericSolver pins the closed-form clique fast
+// path to the generic instance-plus-greedy pipeline it shortcuts: same
+// storing set, same access assignment, same cost, across empty, mixed,
+// full and replica-top-up storage states. (Exact FDC == RDC-constant ties
+// are excluded — integer used/capacity states never produce them.)
+func TestPlaceCliqueMatchesGenericSolver(t *testing.T) {
+	const n = 41
+	cases := []struct {
+		name        string
+		used        func(i int) int
+		minReplicas int
+	}{
+		{"all-empty", func(int) int { return 0 }, 2},
+		{"one-empty", func(i int) int {
+			if i == 7 {
+				return 0
+			}
+			return 13
+		}, 2},
+		{"two-empty", func(i int) int { return (i * 3) % 40 }, 2},
+		{"all-full", func(int) int { return 64 }, 2},
+		{"top-up", func(i int) int { return 5 + i%50 }, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := netsim.NewClique(n)
+			nodes := make([]NodeState, n)
+			for i := range nodes {
+				nodes[i] = NodeState{Used: tc.used(i), Capacity: 64}
+			}
+			fast := NewPlanner(1)
+			fast.MinReplicas = tc.minReplicas
+			slow := NewPlanner(1)
+			slow.MinReplicas = tc.minReplicas
+			slow.Solve = ufl.Greedy // explicit solver disables the fast path
+			fp, err := fast.Place(topo, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := slow.Place(topo, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fp.StoringNodes, sp.StoringNodes) {
+				t.Fatalf("storing nodes diverged: fast %v, generic %v", fp.StoringNodes, sp.StoringNodes)
+			}
+			if !reflect.DeepEqual(fp.AccessFrom, sp.AccessFrom) {
+				t.Fatalf("access assignment diverged: fast %v, generic %v", fp.AccessFrom, sp.AccessFrom)
+			}
+			if fp.Cost != sp.Cost && math.Abs(fp.Cost-sp.Cost) > 1e-9*(1+math.Abs(sp.Cost)) {
+				t.Fatalf("cost diverged: fast %v, generic %v", fp.Cost, sp.Cost)
+			}
+		})
 	}
 }

@@ -73,6 +73,15 @@ type Options struct {
 	// 0 = gossip with the default fanout, >0 = that fanout, negative =
 	// legacy full-mesh block push (DESIGN.md §13).
 	GossipFanout int
+	// MetaFanout is passed through to livenode.Config.MetaFanout:
+	// 0 = metadata gossip follows GossipFanout, >0 = that fanout, negative
+	// = legacy full-mesh metadata push (DESIGN.md §15).
+	MetaFanout int
+	// ProbeFanout is passed through to livenode.Config.ProbeFanout:
+	// 0 = sampled liveness probes with the default fanout, >0 = that
+	// fanout, negative = legacy per-tick heartbeat broadcast (DESIGN.md
+	// §15). Only meaningful when RepairWorkers > 0.
+	ProbeFanout int
 	// PruneDepth, when positive, runs the finite-lifetime chain on the
 	// nodes selected by PruneNodes: bodies below the snapshot-covered
 	// checkpoint horizon are discarded and only the header spine kept
@@ -217,6 +226,7 @@ func (c *Cluster) startNode(i int) error {
 		SyncBatchSize:   c.opts.SyncBatchSize,
 		SnapshotEvery:   c.opts.SnapshotEvery,
 		GossipFanout:    c.opts.GossipFanout,
+		MetaFanout:      c.opts.MetaFanout,
 		Telemetry:       c.nodeRegs[i],
 		PruneDepth:      pruneDepth,
 
@@ -225,6 +235,7 @@ func (c *Cluster) startNode(i int) error {
 		RepairProbeEvery:   c.opts.RepairProbeEvery,
 		RepairSuspectAfter: c.opts.RepairSuspectAfter,
 		RepairHysteresis:   c.opts.RepairHysteresis,
+		ProbeFanout:        c.opts.ProbeFanout,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: start node %d: %w", i, err)

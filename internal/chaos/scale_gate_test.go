@@ -1,0 +1,318 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/workload"
+)
+
+// This file is the §15 scale gate: CI-enforced evidence that both
+// remaining O(n²) floods are gone. Each plane gets a differential
+// measurement at 256 nodes (new transport vs the legacy flag settings)
+// with a 5× peak-egress bar, a 64-node differential proves the metadata
+// relay loses nothing the legacy push delivered, and TestChaosScale1000
+// pins the whole stack — open-loop workload, churn, sampled probes —
+// at 1000 deterministic nodes.
+
+// measureMetaDistribution publishes a burst of items from ONE producer
+// on a 256-node mining-parked cluster and returns each node's peak and
+// summed livenode.wire.meta_bytes. The concentrated producer is the
+// honest shape for this gate: under the legacy push the producer's
+// egress is 255 full FrameMeta bodies per item (the O(n) spike §15
+// removes), while uniform publishing would average that spike away
+// across the roster.
+func measureMetaDistribution(t *testing.T, metaFanout int) (peak, total, relays uint64) {
+	t.Helper()
+	const n, items = 256, 8
+	c := newQuietCluster(t, Options{
+		N:    n,
+		Seed: *seedFlag,
+		T0:   time.Hour, // park mining: only metadata frames flow
+		// metaFanout is the knob under test; block gossip stays default.
+		MetaFanout: metaFanout,
+	})
+	for k := 0; k < items; k++ {
+		if _, err := c.Node(0).Publish([]byte(fmt.Sprintf("gate item %02d", k)), "Road/Congestion", "gate"); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(5 * time.Second) // drain the epidemic before the next burst
+	}
+	c.Run(30 * time.Second) // let any fetch timers fire
+
+	// Delivery sanity: the legacy push reaches everyone by construction;
+	// the epidemic must reach essentially everyone (residual misses heal
+	// via §10 sync once mining packs the items — parked here on purpose).
+	covered := 0
+	for i := 0; i < n; i++ {
+		if len(c.Node(i).PoolIDs()) == items {
+			covered++
+		}
+	}
+	wantCovered := n
+	if metaFanout >= 0 {
+		wantCovered = n * 97 / 100
+	}
+	if covered < wantCovered {
+		t.Fatalf("only %d/%d nodes hold all %d items (want >= %d)", covered, n, items, wantCovered)
+	}
+	for i := 0; i < n; i++ {
+		snap := c.NodeTelemetry(i).Snapshot()
+		v := snap.Counter("livenode.wire.meta_bytes")
+		total += v
+		if v > peak {
+			peak = v
+		}
+		relays += snap.Counter("livenode.metagossip.relays")
+	}
+	return peak, total, relays
+}
+
+// TestMetaGossipBeatsFullMeshFiveFold is the metadata half of the §15
+// acceptance gate: at 256 nodes the inv-style relay must cut the PEAK
+// per-node metadata egress at least 5× versus the legacy full-mesh push.
+// Peak, not total: every node still receives each item once, so cluster
+// totals cannot shrink much — what the relay removes is the producer's
+// O(n) body fan-out.
+func TestMetaGossipBeatsFullMeshFiveFold(t *testing.T) {
+	gPeak, gTotal, gRelays := measureMetaDistribution(t, 0)
+	lPeak, lTotal, lRelays := measureMetaDistribution(t, -1)
+	if gRelays == 0 {
+		t.Fatal("metagossip.relays = 0 — items did not travel by announce relay")
+	}
+	if lRelays != 0 {
+		t.Fatalf("legacy mode recorded %d meta relays", lRelays)
+	}
+	t.Logf("peak per-node metadata egress: gossip %d B, legacy %d B — %.1fx; totals: gossip %d B, legacy %d B",
+		gPeak, lPeak, float64(lPeak)/float64(gPeak), gTotal, lTotal)
+	if gPeak*5 > lPeak {
+		t.Errorf("gossip peak metadata egress %d B, legacy %d B — want >= 5x reduction", gPeak, lPeak)
+	}
+}
+
+// measureHeartbeat runs a 256-node mining-parked cluster's repair plane
+// for a fixed span of ticks and returns each node's peak and summed
+// livenode.wire.heartbeat_bytes (announce + probe + ack).
+func measureHeartbeat(t *testing.T, probeFanout int) (peak, total, probes uint64) {
+	t.Helper()
+	const n = 256
+	c := newQuietCluster(t, Options{
+		N:                n,
+		Seed:             *seedFlag,
+		T0:               time.Hour, // park mining: only liveness frames flow
+		RepairWorkers:    1,
+		RepairProbeEvery: 5 * time.Second,
+		ProbeFanout:      probeFanout,
+	})
+	c.Run(60 * time.Second) // 12 probe ticks
+	for i := 0; i < n; i++ {
+		snap := c.NodeTelemetry(i).Snapshot()
+		v := snap.Counter("livenode.wire.heartbeat_bytes")
+		total += v
+		if v > peak {
+			peak = v
+		}
+		probes += snap.Counter("livenode.probe.sent")
+	}
+	return peak, total, probes
+}
+
+// TestSampledProbesBeatBroadcastFiveFold is the liveness half of the §15
+// acceptance gate: at 256 nodes, SWIM-style sampled probing must cut the
+// peak per-node heartbeat egress at least 5× versus the legacy per-tick
+// announce broadcast. Here peak and total tell the same story — the
+// legacy plane is a uniform O(n²) flood, the sampled plane O(n·fanout).
+func TestSampledProbesBeatBroadcastFiveFold(t *testing.T) {
+	sPeak, sTotal, sProbes := measureHeartbeat(t, 0)
+	lPeak, lTotal, lProbes := measureHeartbeat(t, -1)
+	if sProbes == 0 {
+		t.Fatal("probe.sent = 0 — sampled mode never probed")
+	}
+	if lProbes != 0 {
+		t.Fatalf("legacy mode sent %d probes", lProbes)
+	}
+	t.Logf("peak per-node heartbeat egress: sampled %d B, legacy %d B — %.1fx; totals: sampled %d B, legacy %d B",
+		sPeak, lPeak, float64(lPeak)/float64(sPeak), sTotal, lTotal)
+	if sPeak*5 > lPeak {
+		t.Errorf("sampled peak heartbeat egress %d B, legacy %d B — want >= 5x reduction", sPeak, lPeak)
+	}
+}
+
+// itemSetDigest folds the node's complete item set — everything packed
+// on its chain plus everything still pooled — into one order-independent
+// fingerprint.
+func itemSetDigest(ids []meta.DataID) uint64 {
+	sort.Slice(ids, func(i, j int) bool {
+		for b := range ids[i] {
+			if ids[i][b] != ids[j][b] {
+				return ids[i][b] < ids[j][b]
+			}
+		}
+		return false
+	})
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write(id[:])
+	}
+	return h.Sum64()
+}
+
+// runPoolConvergence publishes a fixed staggered item schedule from
+// scattered producers on a mining 64-node cluster, waits until every
+// item is packed and every pool drained, and returns the cluster-wide
+// item-set digest (asserting all nodes agree on it first).
+func runPoolConvergence(t *testing.T, metaFanout int) (digest, relays uint64) {
+	t.Helper()
+	const n, items = 64, 24
+	c := newQuietCluster(t, Options{N: n, Seed: *seedFlag, MetaFanout: metaFanout})
+	for k := 0; k < items; k++ {
+		producer := (k * 7) % n
+		if _, err := c.Node(producer).Publish([]byte(fmt.Sprintf("conv item %03d", k)), "Road/Congestion", fmt.Sprintf("loc%d", k%5)); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(2 * time.Second)
+	}
+	drained := func() bool {
+		if !c.Converged() {
+			return false
+		}
+		for _, node := range c.Nodes() {
+			if len(node.PoolIDs()) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := c.RunUntil(drained, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, c)
+
+	digests := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		node := c.Node(i)
+		var ids []meta.DataID
+		for _, blk := range node.ChainSnapshot() {
+			for _, it := range blk.Items {
+				ids = append(ids, it.ID)
+			}
+		}
+		ids = append(ids, node.PoolIDs()...)
+		if len(ids) != items {
+			t.Fatalf("node %d holds %d items, want %d", i, len(ids), items)
+		}
+		digests[i] = itemSetDigest(ids)
+		if digests[i] != digests[0] {
+			t.Fatalf("node %d item-set digest %016x differs from node 0's %016x", i, digests[i], digests[0])
+		}
+		relays += c.NodeTelemetry(i).Snapshot().Counter("livenode.metagossip.relays")
+	}
+	return digests[0], relays
+}
+
+// TestMetaGossipPoolConvergenceMatchesLegacy is the §15 no-loss
+// differential: the same 64-node publish schedule run once over the
+// announce/fetch relay and once over the legacy full-mesh push must land
+// every node on the identical item set — switching the metadata
+// transport changes bytes on the wire, never what converges.
+func TestMetaGossipPoolConvergenceMatchesLegacy(t *testing.T) {
+	gDigest, gRelays := runPoolConvergence(t, 0)
+	lDigest, lRelays := runPoolConvergence(t, -1)
+	if gRelays == 0 {
+		t.Fatal("metagossip.relays = 0 — gossip run did not use the relay")
+	}
+	if lRelays != 0 {
+		t.Fatalf("legacy run recorded %d meta relays", lRelays)
+	}
+	if gDigest != lDigest {
+		t.Fatalf("item sets diverged: gossip %016x, legacy %016x", gDigest, lDigest)
+	}
+}
+
+// TestChaosScale1000 is the tentpole's summit: 1000 deterministic nodes
+// under an open-loop workload with ~5% concurrent churn, block gossip,
+// metadata relay and sampled liveness probes all on, converging with
+// every invariant intact — twice, bit-identically. Nothing in the stack
+// may touch wall-clock randomness for this to hold.
+//
+// Detector windows follow the §15 coverage math: with fanout 8, sampled
+// evidence about one node refreshes roughly every
+// roster/(fanout·(digest+1)) ≈ 7 ticks, so the 36-tick dead window has
+// ~5× slack — alive nodes never flap dead (a false-dead at this scale
+// snowballs into a repair-repacking livelock), while churned nodes are
+// only down ~4 ticks and never even reach suspect.
+func TestChaosScale1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node scenario skipped in -short")
+	}
+	seed := *seedFlag
+	const n = 1000
+	opts := Options{
+		N:                  n,
+		Seed:               seed,
+		StorageCapacity:    64,
+		RepairWorkers:      1,
+		ProbeFanout:        8,
+		RepairProbeEvery:   10 * time.Second,
+		RepairSuspectAfter: 180 * time.Second,
+		RepairHysteresis:   180 * time.Second,
+	}
+	requesters := make([]int, 0, 8)
+	for i := 13; i < n; i += 125 {
+		requesters = append(requesters, i)
+	}
+	wopts := WorkloadOptions{
+		Stream: workload.StreamConfig{
+			Duration:        45 * time.Second,
+			RatePerMin:      40,
+			NumNodes:        n,
+			Requesters:      requesters,
+			RequestsPerItem: 1,
+			TypeZipfS:       1.1,
+			Users:           1_000_000,
+			UserZipfS:       1.2,
+			SessionEpoch:    45 * time.Second,
+			Seed:            seed*10_000 + 5,
+		},
+		RequestDelay: 15 * time.Second,
+	}
+	// ~67 outages/min × 45s mean downtime ≈ 50 nodes down at a time ≈ 5%.
+	churn, err := workload.GenerateChurn(workload.ChurnConfig{
+		Horizon:      45 * time.Second,
+		EventsPerMin: 67,
+		MeanDown:     45 * time.Second,
+		NumNodes:     n,
+		Protect:      []int{0},
+		Seed:         seed*10_000 + 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopts.Churn = churn
+
+	run := func() openLoopResult {
+		c := newQuietCluster(t, opts)
+		// Churned nodes are in-memory: they restart empty and catch up by
+		// sync, so the replication floor is out of scope here (the durable
+		// flash-crowd scenario owns it) — floor 0 skips that check.
+		return driveOpenLoop(t, c, wopts, 0, 20*time.Minute)
+	}
+	r1 := run()
+	if r1.stats.Published < 20 {
+		t.Fatalf("1000-node run published only %d items: %+v", r1.stats.Published, r1.stats)
+	}
+	if r1.stats.ChurnDowns < 10 {
+		t.Fatalf("churn barely happened: %+v", r1.stats)
+	}
+	t.Logf("1000 nodes: %+v; height=%d events=%d wire=%dB converge=%v gini=%.3f",
+		r1.stats, r1.height, r1.events, r1.wireB, r1.converge, r1.gini)
+
+	r2 := run()
+	if r1 != r2 {
+		t.Fatalf("double run diverged:\n run1: %+v\n run2: %+v", r1, r2)
+	}
+}

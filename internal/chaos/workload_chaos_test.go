@@ -166,13 +166,17 @@ func TestChaosOpenLoopWorkload(t *testing.T) {
 func TestChaosFlashCrowd(t *testing.T) {
 	seed := *seedFlag
 	opts := Options{
-		N:                  128,
-		Seed:               seed,
-		StorageCapacity:    64,
-		RepairWorkers:      2,
-		RepairProbeEvery:   15 * time.Second,
-		RepairSuspectAfter: 20 * time.Second,
-		RepairHysteresis:   20 * time.Second,
+		N:               128,
+		Seed:            seed,
+		StorageCapacity: 64,
+		RepairWorkers:   2,
+		// Sampled probing (§15) spreads liveness evidence over ~roster /
+		// (fanout·(digest+1)) ≈ 2 ticks, so the dead window must span
+		// several ticks or alive nodes flap dead and repair re-announces
+		// forever. 5s ticks with a 60s window give 12 ticks of slack.
+		RepairProbeEvery:   5 * time.Second,
+		RepairSuspectAfter: 30 * time.Second,
+		RepairHysteresis:   30 * time.Second,
 	}
 	requesters := make([]int, 0, 13)
 	for i := 3; i < 128; i += 10 {
@@ -294,9 +298,12 @@ func TestChaosScale256OpenLoop(t *testing.T) {
 //
 //	go test -bench BenchmarkScalingCurve -benchtime 1x ./internal/chaos
 func BenchmarkScalingCurve(b *testing.B) {
-	for _, n := range []int{64, 128, 256, 512} {
+	for _, n := range []int{64, 128, 256, 512, 1000} {
 		for _, rate := range []float64{30, 120} {
 			b.Run(fmt.Sprintf("n=%d/rate=%.0f", n, rate), func(b *testing.B) {
+				if n >= 1000 && testing.Short() {
+					b.Skip("1000-node curve point skipped in -short")
+				}
 				for i := 0; i < b.N; i++ {
 					res := measureScalePoint(b, n, rate)
 					b.ReportMetric(float64(res.stats.Published), "items")

@@ -321,6 +321,23 @@ func (e *Engine) AddMetadata(it *meta.Item) bool {
 // AddLocal pools an item this node produced itself (already trusted).
 func (e *Engine) AddLocal(it *meta.Item) { e.pool[it.ID] = it }
 
+// PoolHas reports whether the metadata pool currently holds id.
+func (e *Engine) PoolHas(id meta.DataID) bool { return e.pool[id] != nil }
+
+// PoolItem returns the pooled item for id (nil when absent). The item is
+// shared and must not be mutated.
+func (e *Engine) PoolItem(id meta.DataID) *meta.Item { return e.pool[id] }
+
+// PoolIDs returns the IDs currently pooled, in no particular order. The
+// metadata-gossip differential tests sort and digest them.
+func (e *Engine) PoolIDs() []meta.DataID {
+	out := make([]meta.DataID, 0, len(e.pool))
+	for id := range e.pool {
+		out = append(out, id)
+	}
+	return out
+}
+
 // poolItems returns the unexpired, not-yet-on-chain pool items in
 // deterministic order (by ID bytes), pruning the rest.
 func (e *Engine) poolItems(now time.Duration) []*meta.Item {

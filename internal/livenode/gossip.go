@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/block"
+	"repro/internal/meta"
 	"repro/internal/p2p"
 )
 
@@ -47,13 +48,22 @@ const (
 
 // gossipState is the node's announce/fetch bookkeeping; nil when gossip
 // is disabled (Config.GossipFanout < 0) and the legacy full-mesh push is
-// in effect. All fields are guarded by Node.mu.
+// in effect. The same sampler and seen/pending discipline also runs the
+// metadata relay (DESIGN.md §15) when Config.MetaFanout selects it. All
+// fields are guarded by Node.mu.
 type gossipState struct {
 	fanout  int
-	rng     *rand.Rand // node-local, deterministically seeded peer sampling
-	seen    *hashLRU   // announced hashes not (or not yet) on our chain
+	rng     *rand.Rand           // node-local, deterministically seeded peer sampling
+	seen    *seenLRU[block.Hash] // announced hashes not (or not yet) on our chain
 	pending map[block.Hash]*pendingFetch
 	gen     uint64 // fetch generation, guards stale timers
+
+	// Metadata relay (DESIGN.md §15); metaFanout < 0 keeps the legacy
+	// full-mesh FrameMeta push even while block gossip runs.
+	metaFanout  int
+	metaSeen    *seenLRU[meta.DataID] // announced IDs not (or not yet) pooled
+	metaPending map[meta.DataID]*pendingMetaFetch
+	metaGen     uint64
 }
 
 // pendingFetch tracks one outstanding FrameGetBlock.
@@ -64,46 +74,50 @@ type pendingFetch struct {
 	timer  Timer
 }
 
-func newGossipState(fanout int, seed int64) *gossipState {
+func newGossipState(fanout, metaFanout int, seed int64) *gossipState {
 	return &gossipState{
-		fanout:  fanout,
-		rng:     rand.New(rand.NewSource(seed)),
-		seen:    newHashLRU(gossipSeenCap),
-		pending: make(map[block.Hash]*pendingFetch),
+		fanout:      fanout,
+		rng:         rand.New(rand.NewSource(seed)),
+		seen:        newSeenLRU[block.Hash](gossipSeenCap),
+		pending:     make(map[block.Hash]*pendingFetch),
+		metaFanout:  metaFanout,
+		metaSeen:    newSeenLRU[meta.DataID](metaSeenCap),
+		metaPending: make(map[meta.DataID]*pendingMetaFetch),
 	}
 }
 
-// hashLRU is a fixed-capacity set of block hashes with FIFO eviction: a
-// map for O(1) membership plus a ring of insertion order. Re-adding a
-// present hash is a no-op (announce storms must not churn the ring).
-type hashLRU struct {
-	m    map[block.Hash]struct{}
-	ring []block.Hash
+// seenLRU is a fixed-capacity set of 32-byte identifiers (block hashes,
+// data IDs) with FIFO eviction: a map for O(1) membership plus a ring of
+// insertion order. Re-adding a present key is a no-op (announce storms
+// must not churn the ring).
+type seenLRU[K comparable] struct {
+	m    map[K]struct{}
+	ring []K
 	next int
 	full bool
 }
 
-func newHashLRU(capacity int) *hashLRU {
-	return &hashLRU{
-		m:    make(map[block.Hash]struct{}, capacity),
-		ring: make([]block.Hash, capacity),
+func newSeenLRU[K comparable](capacity int) *seenLRU[K] {
+	return &seenLRU[K]{
+		m:    make(map[K]struct{}, capacity),
+		ring: make([]K, capacity),
 	}
 }
 
-func (l *hashLRU) Has(h block.Hash) bool {
-	_, ok := l.m[h]
+func (l *seenLRU[K]) Has(k K) bool {
+	_, ok := l.m[k]
 	return ok
 }
 
-func (l *hashLRU) Add(h block.Hash) {
-	if l.Has(h) {
+func (l *seenLRU[K]) Add(k K) {
+	if l.Has(k) {
 		return
 	}
 	if l.full {
 		delete(l.m, l.ring[l.next])
 	}
-	l.ring[l.next] = h
-	l.m[h] = struct{}{}
+	l.ring[l.next] = k
+	l.m[k] = struct{}{}
 	l.next++
 	if l.next == len(l.ring) {
 		l.next, l.full = 0, true
@@ -163,7 +177,6 @@ func (n *Node) sampleGossipPeers(exclude string) []string {
 			cand = append(cand, p)
 		}
 	}
-	sort.Strings(cand)
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -171,12 +184,21 @@ func (n *Node) sampleGossipPeers(exclude string) []string {
 	if g == nil || n.closed {
 		return nil
 	}
-	k := g.fanout
+	return samplePeersLocked(g.rng, cand, g.fanout)
+}
+
+// samplePeersLocked draws up to k distinct entries from cand via a
+// partial Fisher-Yates shuffle, sorting first so the draw is a pure
+// function of the candidate set and the caller's seeded RNG (n.mu held —
+// the RNGs live behind it). Both gossip planes and the sampled liveness
+// prober share this.
+func samplePeersLocked(rng *rand.Rand, cand []string, k int) []string {
+	sort.Strings(cand)
 	if k > len(cand) {
 		k = len(cand)
 	}
 	for i := 0; i < k; i++ {
-		j := i + g.rng.Intn(len(cand)-i)
+		j := i + rng.Intn(len(cand)-i)
 		cand[i], cand[j] = cand[j], cand[i]
 	}
 	return cand[:k]
@@ -303,7 +325,8 @@ func (n *Node) noteGossipBlockLocked(blk *block.Block, adopted bool) (relay bool
 }
 
 // clearGossipLocked stops all pending fetch timers and resets the fetch
-// table (n.mu held). Close/Kill and test teardowns call it.
+// tables of both gossip planes (n.mu held). Close/Kill and test
+// teardowns call it.
 func (n *Node) clearGossipLocked() {
 	g := n.gossip
 	if g == nil {
@@ -314,4 +337,9 @@ func (n *Node) clearGossipLocked() {
 		delete(g.pending, h)
 	}
 	g.gen++
+	for id, pm := range g.metaPending {
+		pm.timer.Stop()
+		delete(g.metaPending, id)
+	}
+	g.metaGen++
 }

@@ -327,7 +327,7 @@ func TestGossipSamplingBoundedAndExcludes(t *testing.T) {
 }
 
 func TestHashLRU(t *testing.T) {
-	l := newHashLRU(3)
+	l := newSeenLRU[block.Hash](3)
 	h := func(i byte) block.Hash { return block.Hash{i} }
 	for i := byte(1); i <= 3; i++ {
 		l.Add(h(i))

@@ -24,7 +24,6 @@ import (
 	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/geo"
 	"repro/internal/identity"
 	"repro/internal/meta"
 	"repro/internal/netsim"
@@ -120,6 +119,13 @@ type Config struct {
 	// peers fetch only bodies they lack; an unanswered fetch falls back to
 	// the §10 sync locator path after SyncTimeout.
 	GossipFanout int
+	// MetaFanout selects the metadata propagation mode (DESIGN.md §15).
+	// 0 follows GossipFanout (metadata gossips whenever blocks do, with the
+	// same fanout); a positive value gossips metadata with that fanout; a
+	// negative value keeps the legacy full-mesh push (every published item
+	// broadcast in full to every peer). When GossipFanout is negative the
+	// gossip machinery is absent and metadata always uses the legacy push.
+	MetaFanout int
 
 	// RepairWorkers enables the self-healing data plane (DESIGN.md §11)
 	// and bounds its concurrent targeted fetches; 0 disables repair
@@ -129,9 +135,17 @@ type Config struct {
 	// per second (default 4096); it keeps background re-replication
 	// traffic strictly below consensus traffic.
 	RepairRate int
-	// RepairProbeEvery is the repair tick cadence: heartbeat broadcast,
+	// RepairProbeEvery is the repair tick cadence: liveness probing,
 	// membership sweep and queue pump (default 2s).
 	RepairProbeEvery time.Duration
+	// ProbeFanout selects the liveness-evidence mode (DESIGN.md §15).
+	// 0 probes a default sample of 4 roster peers per tick; a positive
+	// value probes that many; a negative value restores the legacy
+	// heartbeat broadcast (the roster announce pushed to every peer every
+	// tick — O(n²) traffic across the deployment). Sampled probes carry
+	// bounded third-party liveness digests on their acks, so evidence still
+	// spreads epidemically.
+	ProbeFanout int
 	// RepairSuspectAfter is the silence after which a roster node turns
 	// suspect (default 6s); RepairHysteresis is the ADDITIONAL silence
 	// before a suspect counts dead and triggers re-replication
@@ -243,6 +257,19 @@ type nodeMetrics struct {
 	gossipDupSuppressed   *telemetry.Counter // announces dropped as already seen/adopted
 	gossipStaleSuppressed *telemetry.Counter // announces at or below our tip
 
+	// Inv-style metadata relay (DESIGN.md §15).
+	metaRelays        *telemetry.Counter // pooled items relayed as ID announces
+	metaFetchesSent   *telemetry.Counter // IDs requested via FrameGetMeta
+	metaFetchesServed *telemetry.Counter // pool items served to FrameGetMeta
+	metaFetchTimeouts *telemetry.Counter // pending fetches dropped unanswered
+	metaFetchDropped  *telemetry.Counter // announces dropped: pending table full
+	metaDupSuppressed *telemetry.Counter // announced IDs already pooled/seen/packed
+
+	// Sampled liveness probing (DESIGN.md §15).
+	probesSent        *telemetry.Counter // FrameRepairProbe sends
+	probeAcks         *telemetry.Counter // FrameRepairProbeAck replies sent
+	probeDigestMerged *telemetry.Counter // third-party digest entries applied
+
 	// Wire-byte split, counted at the sender across all app frames.
 	// Block-propagation bytes (FrameBlock + announce + get-block) are
 	// additionally tallied in wireBlockBytes, and announce frames alone in
@@ -254,6 +281,8 @@ type nodeMetrics struct {
 	wireBlockBytes     *telemetry.Counter
 	wireAnnounceBytes  *telemetry.Counter
 	wireSnapshotBytes  *telemetry.Counter // snapshot request/chunk frames alone
+	wireMetaBytes      *telemetry.Counter // metadata propagation (FrameMeta + announce + get-meta)
+	wireHeartbeatBytes *telemetry.Counter // liveness traffic (announce + probe + ack)
 
 	dataFetchExpired *telemetry.Counter // pending fetches dropped by FetchTimeout
 	height           *telemetry.Gauge
@@ -317,12 +346,25 @@ func newNodeMetrics(reg *telemetry.Registry, rosterN int) *nodeMetrics {
 		gossipDupSuppressed:   reg.Counter("livenode.gossip.dup_suppressed"),
 		gossipStaleSuppressed: reg.Counter("livenode.gossip.stale_suppressed"),
 
+		metaRelays:        reg.Counter("livenode.metagossip.relays"),
+		metaFetchesSent:   reg.Counter("livenode.metagossip.fetches_sent"),
+		metaFetchesServed: reg.Counter("livenode.metagossip.fetches_served"),
+		metaFetchTimeouts: reg.Counter("livenode.metagossip.fetch_timeouts"),
+		metaFetchDropped:  reg.Counter("livenode.metagossip.fetch_dropped"),
+		metaDupSuppressed: reg.Counter("livenode.metagossip.dup_suppressed"),
+
+		probesSent:        reg.Counter("livenode.probe.sent"),
+		probeAcks:         reg.Counter("livenode.probe.acks"),
+		probeDigestMerged: reg.Counter("livenode.probe.digest_merged"),
+
 		wireConsensusBytes: reg.Counter("livenode.wire.consensus_bytes"),
 		wireDataBytes:      reg.Counter("livenode.wire.data_bytes"),
 		wireRepairBytes:    reg.Counter("livenode.wire.repair_bytes"),
 		wireBlockBytes:     reg.Counter("livenode.wire.block_bytes"),
 		wireAnnounceBytes:  reg.Counter("livenode.wire.announce_bytes"),
 		wireSnapshotBytes:  reg.Counter("livenode.wire.snapshot_bytes"),
+		wireMetaBytes:      reg.Counter("livenode.wire.meta_bytes"),
+		wireHeartbeatBytes: reg.Counter("livenode.wire.heartbeat_bytes"),
 	}
 	if reg != nil {
 		m.sGauges = make([]*telemetry.Gauge, rosterN)
@@ -436,10 +478,14 @@ func New(cfg Config) (*Node, error) {
 		tel:        newNodeMetrics(cfg.Telemetry, len(cfg.Accounts)),
 	}
 	if cfg.GossipFanout > 0 {
+		metaFanout := cfg.MetaFanout
+		if metaFanout == 0 {
+			metaFanout = cfg.GossipFanout
+		}
 		// Seed the sampling RNG from deployment-shared state plus our own
 		// roster index: deterministic per node, distinct across nodes, so
 		// virtual-clock chaos runs replay bit-identically.
-		n.gossip = newGossipState(cfg.GossipFanout, cfg.GenesisSeed^(int64(selfIdx+1)*0x9E3779B9))
+		n.gossip = newGossipState(cfg.GossipFanout, metaFanout, cfg.GenesisSeed^(int64(selfIdx+1)*0x9E3779B9))
 	}
 
 	// The repair driver must exist before the engine: the engine's
@@ -452,9 +498,11 @@ func New(cfg Config) (*Node, error) {
 		repairMax = cfg.RepairMaxPerBlock
 	}
 
-	// Clique topology: every pair 1 hop (full TCP mesh).
-	positions := make([]geo.Point, len(cfg.Accounts))
-	topo := netsim.NewTopology(positions, 1, nil)
+	// Clique topology: every pair 1 hop (full TCP mesh). NewClique keeps
+	// this O(n) — the position-based constructor would burn O(n²) memory
+	// and an O(n³) BFS in every node stack, minutes of setup at 1000
+	// nodes before the first frame ever flowed.
+	topo := netsim.NewClique(len(cfg.Accounts))
 	blockPlanner := alloc.NewPlanner(1)
 	blockPlanner.MinReplicas = 1
 	eng, err := engine.New(engine.Config{
@@ -542,14 +590,30 @@ func (n *Node) Connect(addrs ...string) error {
 	n.clock.Sleep(50 * time.Millisecond)
 	n.mu.Lock()
 	var announce []byte
+	probeFanout := 0
 	if n.repair != nil {
 		announce = n.repair.announce
+		probeFanout = n.repair.probeFanout
 	}
 	n.mu.Unlock()
 	if announce != nil {
-		// Bind our roster index to our address on every new peer right
-		// away, rather than waiting out a probe period.
-		n.bcast(p2p.FrameRepairAnnounce, announce)
+		if probeFanout > 0 {
+			// Sampled mode (§15): probe a bounded prefix of the new peers so
+			// initial address bindings bootstrap without an O(n) broadcast;
+			// the per-tick probe rotation binds the rest over time.
+			targets := addrs
+			if len(targets) > probeFanout {
+				targets = targets[:probeFanout]
+			}
+			for _, a := range targets {
+				n.tel.probesSent.Inc()
+				n.send(a, p2p.FrameRepairProbe, announce)
+			}
+		} else {
+			// Bind our roster index to our address on every new peer right
+			// away, rather than waiting out a probe period.
+			n.bcast(p2p.FrameRepairAnnounce, announce)
+		}
 	}
 	// A fresh node configured for snapshot bootstrap asks its first peer
 	// for the finalized state instead of syncing history from genesis
@@ -621,6 +685,15 @@ func (n *Node) BodyBase() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.eng.Chain().BodyBase()
+}
+
+// PoolIDs returns the IDs of every metadata item currently in the node's
+// consensus pool (unordered). The §15 pool-convergence differential
+// digests chain ∪ pool item sets across transport modes.
+func (n *Node) PoolIDs() []meta.DataID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.PoolIDs()
 }
 
 // HasItemOnChain reports whether an item with the given ID is recorded in
@@ -742,8 +815,15 @@ func (n *Node) Publish(content []byte, typ, locationName string) (*meta.Item, er
 	}
 	n.mu.Lock()
 	n.eng.AddLocal(it)
+	relay := n.metaGossipEnabledLocked()
 	n.mu.Unlock()
-	n.bcast(p2p.FrameMeta, it.Encode())
+	if relay {
+		// Inv-style relay (§15): announce only the 32-byte ID to a bounded
+		// sample; peers fetch the item and re-announce on first admission.
+		n.relayMeta([]meta.DataID{it.ID}, "")
+	} else {
+		n.bcast(p2p.FrameMeta, it.Encode())
+	}
 	return it, nil
 }
 

@@ -1,0 +1,243 @@
+package livenode
+
+import (
+	"repro/internal/meta"
+	"repro/internal/p2p"
+)
+
+// Inv-style metadata relay (DESIGN.md §15). The consensus round (paper
+// §III-B) assumes every node eventually holds the metadata pool, and the
+// transport used to get there by pushing every published item in full to
+// every peer — the last O(n²) flood on the consensus plane after the §13
+// block relay landed. The relay replaces the push with the same
+// announce/fetch discipline blocks use:
+//
+//	producer                  sampled peer              its sampled peers
+//	  FrameMetaAnnounce ─────────▶
+//	  ◀──────── FrameGetMeta(ids)    (only the IDs it lacks)
+//	  FrameMeta(item) ────────────▶  (one frame per fetched item)
+//	                              FrameMetaAnnounce ─────────▶  …
+//
+// A node that admits a fetched (or pushed) item to its pool for the first
+// time re-relays the announce to a bounded sample of peers, excluding
+// whoever delivered the item, so dissemination is epidemic: O(fanout)
+// 37-byte announces per node per item, and each node uploads the full
+// item only a bounded number of times. Announces and fetches are
+// batchable (one frame carries up to maxMetaBatch IDs).
+//
+// Deliberate divergence from the block path: an unanswered FrameGetMeta
+// does NOT fall back to a locator round. Metadata is not load-bearing
+// until a miner packs it into a block, and packed items reach every
+// replica through the §10 sync path anyway — so a timed-out fetch just
+// drops its pending entry (a later announce from any peer may retry) and
+// pool convergence becomes eventual instead of synchronous. Only item
+// IDs travel in announce/fetch frames; admission to the pool happens
+// exclusively in the FrameMeta handler behind meta.Item.Verify, so no
+// forged announce or fetch can inject pool state.
+const (
+	// maxMetaBatch bounds the IDs one FrameMetaAnnounce or FrameGetMeta
+	// carries; oversized counts are rejected before allocation.
+	maxMetaBatch = 64
+	// metaSeenCap bounds the seen-ID LRU (IDs announced but rejected or
+	// already on chain). Metadata is smaller and chattier than blocks, so
+	// the ring is deeper than the block path's.
+	metaSeenCap = 1024
+	// maxPendingMetaFetch bounds concurrently outstanding fetched IDs;
+	// past it announces are dropped (the §10 sync path still delivers
+	// whatever a miner packs).
+	maxPendingMetaFetch = 256
+)
+
+// pendingMetaFetch tracks the outstanding FrameGetMeta entry for one ID.
+type pendingMetaFetch struct {
+	from  string
+	gen   uint64
+	timer Timer
+}
+
+// metaGossipEnabledLocked reports whether the metadata relay (rather than
+// the legacy full-mesh push) is in effect (n.mu held).
+func (n *Node) metaGossipEnabledLocked() bool {
+	return n.gossip != nil && n.gossip.metaFanout > 0
+}
+
+// --- wire codecs --------------------------------------------------------------
+
+// encodeIDList serializes a FrameMetaAnnounce / FrameGetMeta payload: a
+// 4-byte count followed by 32-byte data IDs.
+func encodeIDList(ids []meta.DataID) []byte {
+	out := make([]byte, 0, 4+len(ids)*len(meta.DataID{}))
+	out = putU32(out, uint32(len(ids)))
+	for _, id := range ids {
+		out = append(out, id[:]...)
+	}
+	return out
+}
+
+func decodeIDList(payload []byte) ([]meta.DataID, error) {
+	r := &syncReader{b: payload}
+	count := r.uint32()
+	if r.err == nil && (count == 0 || count > maxMetaBatch) {
+		r.err = errSyncFrame
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	ids := make([]meta.DataID, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var id meta.DataID
+		copy(id[:], r.take(len(id)))
+		ids = append(ids, id)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// --- relay --------------------------------------------------------------------
+
+// relayMeta announces freshly pooled item IDs to a bounded random sample
+// of peers (never the one that delivered them). Callers must NOT hold
+// n.mu; the sends are synchronous.
+func (n *Node) relayMeta(ids []meta.DataID, exclude string) {
+	if len(ids) == 0 {
+		return
+	}
+	peers := n.net.Peers()
+	cand := peers[:0]
+	for _, p := range peers {
+		if p != exclude {
+			cand = append(cand, p)
+		}
+	}
+	n.mu.Lock()
+	g := n.gossip
+	if g == nil || g.metaFanout <= 0 || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	targets := samplePeersLocked(g.rng, cand, g.metaFanout)
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	ann := encodeIDList(ids)
+	for _, p := range targets {
+		n.send(p, p2p.FrameMetaAnnounce, ann)
+	}
+	n.tel.metaRelays.Inc()
+}
+
+// --- announce / fetch handlers ------------------------------------------------
+
+// handleMetaAnnounce applies the dedup rules per announced ID and batches
+// one FrameGetMeta back to the announcer for the genuinely unknown ones.
+// A pending entry that times out is simply forgotten — re-announces may
+// retry, and the §10 sync path delivers whatever gets packed meanwhile.
+func (n *Node) handleMetaAnnounce(from string, payload []byte) {
+	ids, err := decodeIDList(payload)
+	if err != nil {
+		return
+	}
+	var want []meta.DataID
+	n.mu.Lock()
+	g := n.gossip
+	if g == nil || g.metaFanout <= 0 || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	for _, id := range ids {
+		switch {
+		case n.eng.OnChain(id):
+			// Already packed: the pool will never want it again.
+			g.metaSeen.Add(id)
+			n.tel.metaDupSuppressed.Inc()
+		case n.eng.PoolHas(id):
+			n.tel.metaDupSuppressed.Inc()
+		case g.metaSeen.Has(id):
+			n.tel.metaDupSuppressed.Inc()
+		case g.metaPending[id] != nil:
+			n.tel.metaDupSuppressed.Inc()
+		case len(g.metaPending) >= maxPendingMetaFetch:
+			// Fetch table saturated: drop the announce. Unlike the block
+			// path there is nothing to degrade to — packed items arrive
+			// via sync, unpacked ones via a later announce.
+			n.tel.metaFetchDropped.Inc()
+		default:
+			g.metaGen++
+			pm := &pendingMetaFetch{from: from, gen: g.metaGen}
+			gen := g.metaGen
+			fetchID := id
+			pm.timer = n.clock.AfterFunc(n.cfg.SyncTimeout, func() { n.onMetaFetchTimeout(fetchID, gen) })
+			g.metaPending[id] = pm
+			want = append(want, id)
+		}
+	}
+	n.mu.Unlock()
+	if len(want) > 0 {
+		n.tel.metaFetchesSent.Add(len(want))
+		n.send(from, p2p.FrameGetMeta, encodeIDList(want))
+	}
+}
+
+// handleGetMeta serves fetched items from the pool, one FrameMeta each;
+// IDs this node no longer pools are ignored (if they were packed, the
+// requester gets them through block propagation or sync instead).
+func (n *Node) handleGetMeta(from string, payload []byte) {
+	ids, err := decodeIDList(payload)
+	if err != nil {
+		return
+	}
+	var bodies [][]byte
+	n.mu.Lock()
+	for _, id := range ids {
+		if it := n.eng.PoolItem(id); it != nil {
+			bodies = append(bodies, it.Encode())
+		}
+	}
+	n.mu.Unlock()
+	for _, b := range bodies {
+		n.tel.metaFetchesServed.Inc()
+		n.send(from, p2p.FrameMeta, b)
+	}
+}
+
+// onMetaFetchTimeout fires when an announcer never answered a
+// FrameGetMeta entry: the pending slot is freed so a later announce (from
+// anyone) may retry. No locator fallback — see the package comment.
+func (n *Node) onMetaFetchTimeout(id meta.DataID, gen uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.gossip
+	if g == nil || n.closed {
+		return
+	}
+	pm := g.metaPending[id]
+	if pm == nil || pm.gen != gen {
+		return // answered, or superseded
+	}
+	delete(g.metaPending, id)
+	n.tel.metaFetchTimeouts.Inc()
+}
+
+// noteMetaArrivalLocked records the arrival of a full metadata item
+// against the relay state (n.mu held): a pending fetch for its ID is
+// complete, and an item that failed admission (forged signature,
+// duplicate) joins the seen set so its re-announce does not refetch.
+// Returns whether the admitted item should be re-relayed.
+func (n *Node) noteMetaArrivalLocked(id meta.DataID, added bool) (relay bool) {
+	g := n.gossip
+	if g == nil || g.metaFanout <= 0 {
+		return false
+	}
+	if pm := g.metaPending[id]; pm != nil {
+		pm.timer.Stop()
+		delete(g.metaPending, id)
+	}
+	if !added {
+		g.metaSeen.Add(id)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package livenode
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// Sampled liveness probing (DESIGN.md §15). The repair plane's original
+// heartbeat was a per-tick FrameRepairAnnounce broadcast: every node
+// pushing its roster index to every peer every RepairProbeEvery — O(n²)
+// frames across the deployment per tick, the repair-plane twin of the
+// full-mesh floods §13/§15 removed from the consensus plane. SWIM showed
+// the broadcast is unnecessary: direct evidence only has to reach a
+// bounded sample per period, and third-party evidence can ride along as
+// piggybacked digests.
+//
+// Each tick a node sends FrameRepairProbe (its 4-byte roster index) to a
+// bounded deterministic sample of transport peers. The probed peer binds
+// the prober's address, refreshes its liveness, and answers with
+// FrameRepairProbeAck: its own index plus a bounded digest of (index,
+// age) pairs drawn from a rotating cursor over its detector state. The
+// prober merges entries that are newer than what it already knows, so
+// liveness evidence spreads epidemically at O(n·fanout) frames per tick
+// deployment-wide. Passive evidence (any frame from a bound address, the
+// miner of every adopted block) and the membership sweep are unchanged;
+// the detector itself — verdict thresholds, hysteresis, monotonic
+// evidence — is untouched, only the evidence transport changes.
+//
+// Digest ages are relative (duration since the responder last saw the
+// node), so the encoding needs no clock agreement beyond the shared
+// epoch the deployment already assumes. Entries silent past
+// SuspectAfter+Hysteresis are omitted: replaying them cannot change any
+// verdict, and dropping them keeps acks small exactly when many nodes
+// are dead. A stale entry that does arrive is a no-op — merges apply
+// only evidence strictly newer than the local timestamp, so digests can
+// circulate forever without reviving a dead node.
+const (
+	// defaultProbeFanout is how many peers are probed per repair tick when
+	// Config.ProbeFanout is 0. Four keeps expected detection latency a
+	// small constant number of periods on rosters past 1000 nodes (SWIM's
+	// regime: miss probability per period decays exponentially in fanout).
+	defaultProbeFanout = 4
+	// probeDigestMax bounds the (index, age) pairs one ack carries. 16
+	// entries keep the ack at 75 wire bytes — the legacy broadcast costs
+	// more than that per tick at any roster past ~8 nodes.
+	probeDigestMax = 16
+	// probeDigestUnit is the age quantum in digests. 100ms resolution is
+	// far below any sane SuspectAfter, and a uint16 of units spans 109
+	// minutes of silence — orders past the stale cutoff.
+	probeDigestUnit = 100 * time.Millisecond
+)
+
+// encodeProbeAck builds a FrameRepairProbeAck payload (n.mu held): the
+// responder's 4-byte index, a 2-byte entry count, then (uint16 index,
+// uint16 age-units) pairs selected by a rotating cursor over the roster.
+func (n *Node) encodeProbeAckLocked(now time.Duration) []byte {
+	rd := n.repair
+	out := binary.BigEndian.AppendUint32(nil, uint32(n.selfIdx))
+	countAt := len(out)
+	out = append(out, 0, 0)
+	count := 0
+	stale := n.cfg.RepairSuspectAfter + n.cfg.RepairHysteresis
+	roster := len(n.cfg.Accounts)
+	for scanned := 0; scanned < roster && count < probeDigestMax; scanned++ {
+		i := rd.digestCursor % roster
+		rd.digestCursor++
+		if i == n.selfIdx {
+			continue
+		}
+		age := now - rd.det.LastSeen(i)
+		if age < 0 {
+			age = 0
+		}
+		if age >= stale {
+			continue
+		}
+		// Round UP to the unit: understating an age would timestamp the
+		// merged evidence after the responder's real observation, and a
+		// digest bouncing between nodes could then creep a silent node's
+		// lastSeen forward ~one unit per hop, forever. Overstating only
+		// makes third-party evidence (at most one unit) conservative.
+		units := (age + probeDigestUnit - 1) / probeDigestUnit
+		if units > 0xFFFF {
+			continue
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(i))
+		out = binary.BigEndian.AppendUint16(out, uint16(units))
+		count++
+	}
+	binary.BigEndian.PutUint16(out[countAt:], uint16(count))
+	return out
+}
+
+// handleRepairProbe ingests a liveness probe: like an announce it binds
+// the prober's address and refreshes its liveness, then answers with the
+// digest-carrying ack.
+func (n *Node) handleRepairProbe(from string, payload []byte) {
+	if len(payload) != 4 {
+		return
+	}
+	i := int(binary.BigEndian.Uint32(payload))
+	n.mu.Lock()
+	rd := n.repair
+	if rd == nil || n.closed || i < 0 || i >= len(n.cfg.Accounts) || i == n.selfIdx {
+		n.mu.Unlock()
+		return
+	}
+	n.bindRepairAddrLocked(i, from)
+	ack := n.encodeProbeAckLocked(n.now())
+	n.mu.Unlock()
+	n.tel.probeAcks.Inc()
+	n.send(from, p2p.FrameRepairProbeAck, ack)
+}
+
+// handleRepairProbeAck ingests a probe reply: direct evidence for the
+// responder, plus any digest entries strictly newer than what the local
+// detector already knows. The merge keeps Seen timestamps monotonic, so
+// a looping digest cannot revive a node silent past its entries' ages.
+func (n *Node) handleRepairProbeAck(from string, payload []byte) {
+	if len(payload) < 6 {
+		return
+	}
+	i := int(binary.BigEndian.Uint32(payload))
+	count := int(binary.BigEndian.Uint16(payload[4:6]))
+	if count > probeDigestMax || len(payload) != 6+count*4 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rd := n.repair
+	if rd == nil || n.closed || i < 0 || i >= len(n.cfg.Accounts) || i == n.selfIdx {
+		return
+	}
+	n.bindRepairAddrLocked(i, from)
+	now := n.now()
+	merged := 0
+	for e := 0; e < count; e++ {
+		off := 6 + e*4
+		j := int(binary.BigEndian.Uint16(payload[off:]))
+		age := time.Duration(binary.BigEndian.Uint16(payload[off+2:])) * probeDigestUnit
+		if j == n.selfIdx || j >= len(n.cfg.Accounts) {
+			continue
+		}
+		at := now - age
+		if at > rd.det.LastSeen(j) {
+			rd.det.Seen(j, at)
+			merged++
+		}
+	}
+	n.tel.probeDigestMerged.Add(merged)
+}
+
+// bindRepairAddrLocked binds roster index i to transport address from and
+// refreshes its liveness (n.mu held; caller has validated i). Shared by
+// the announce, probe and ack handlers.
+func (n *Node) bindRepairAddrLocked(i int, from string) {
+	rd := n.repair
+	if old := rd.det.Addr(i); old != "" && old != from {
+		delete(rd.addrIdx, old)
+	}
+	rd.det.SetAddr(i, from)
+	rd.addrIdx[from] = i
+	rd.det.Seen(i, n.now())
+}

@@ -249,6 +249,12 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 	case p2p.FrameRepairAnnounce:
 		n.handleRepairAnnounce(from, payload)
 
+	case p2p.FrameRepairProbe:
+		n.handleRepairProbe(from, payload)
+
+	case p2p.FrameRepairProbeAck:
+		n.handleRepairProbeAck(from, payload)
+
 	case p2p.FrameRepairGet:
 		n.handleRepairGet(from, payload)
 
@@ -261,8 +267,21 @@ func (n *Node) handleFrame(from string, ft byte, payload []byte) {
 			return
 		}
 		n.mu.Lock()
-		n.eng.AddMetadata(it) // verifies the signature, dedups vs pool+chain
+		added := n.eng.AddMetadata(it) // verifies the signature, dedups vs pool+chain
+		relay := n.noteMetaArrivalLocked(it.ID, added)
 		n.mu.Unlock()
+		if relay {
+			// Relay-on-first-admission (DESIGN.md §15): a pooled item spreads
+			// epidemically as an ID announce to a bounded peer sample, never
+			// back to whoever sent us the body.
+			n.relayMeta([]meta.DataID{it.ID}, from)
+		}
+
+	case p2p.FrameMetaAnnounce:
+		n.handleMetaAnnounce(from, payload)
+
+	case p2p.FrameGetMeta:
+		n.handleGetMeta(from, payload)
 
 	case p2p.FrameBlock:
 		blk, err := block.Decode(payload)

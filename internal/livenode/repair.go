@@ -2,6 +2,7 @@ package livenode
 
 import (
 	"encoding/binary"
+	"math/rand"
 	"time"
 
 	"repro/internal/engine"
@@ -69,10 +70,18 @@ type repairDriver struct {
 	addrIdx  map[string]int
 	minerIdx map[[32]byte]int
 
-	announce   []byte // this node's encoded heartbeat
+	announce   []byte // this node's encoded roster index (announce/probe payload)
 	probeEvery time.Duration
 	floor      int // replica floor the under-replication gauge checks
 	timer      Timer
+
+	// Sampled liveness probing (DESIGN.md §15); probeFanout == 0 keeps
+	// the legacy per-tick announce broadcast. The rng is seeded separately
+	// from the gossip plane's so probe sampling never perturbs block/meta
+	// relay draws (and vice versa) in deterministic runs.
+	probeFanout  int
+	rng          *rand.Rand
+	digestCursor int // rotating roster cursor for ack digest selection
 }
 
 // initRepair builds the repair driver (called from New before engine.New so
@@ -102,6 +111,23 @@ func (n *Node) initRepair() *repairDriver {
 		announce:   binary.BigEndian.AppendUint32(nil, uint32(n.selfIdx)),
 		probeEvery: n.cfg.RepairProbeEvery,
 		floor:      n.cfg.RepairReplicaFloor,
+	}
+	switch {
+	case n.cfg.ProbeFanout > 0:
+		rd.probeFanout = n.cfg.ProbeFanout
+	case n.cfg.ProbeFanout == 0:
+		rd.probeFanout = defaultProbeFanout
+	}
+	if rd.probeFanout >= len(n.cfg.Accounts)-1 {
+		// The sample would cover the whole roster every tick, so sampling
+		// buys nothing over the broadcast and its acks are pure overhead:
+		// a tiny cluster keeps the legacy announce heartbeat.
+		rd.probeFanout = 0
+	}
+	if rd.probeFanout > 0 {
+		// Distinct multiplier from the gossip RNG seed: the two planes
+		// must draw independent deterministic streams.
+		rd.rng = rand.New(rand.NewSource(n.cfg.GenesisSeed ^ (int64(n.selfIdx+1) * 0x7F4A7C15)))
 	}
 	for i, a := range n.cfg.Accounts {
 		rd.minerIdx[a] = i
@@ -147,11 +173,11 @@ func (n *Node) noteFrameFrom(from string) {
 	n.mu.Unlock()
 }
 
-// repairTick is the repair plane's heartbeat: it broadcasts this node's
-// announce, sweeps membership, expires index entries and timed-out
-// fetches, and pumps the queue — launching targeted provider fetches
-// under the worker and byte-rate budgets. Network sends happen after
-// n.mu is released.
+// repairTick is the repair plane's heartbeat: it refreshes liveness
+// evidence (sampled probes, or the legacy announce broadcast), sweeps
+// membership, expires index entries and timed-out fetches, and pumps the
+// queue — launching targeted provider fetches under the worker and
+// byte-rate budgets. Network sends happen after n.mu is released.
 func (n *Node) repairTick() {
 	peers := n.net.Peers() // transport snapshot, taken outside n.mu
 
@@ -163,6 +189,7 @@ func (n *Node) repairTick() {
 	var fallbacks []meta.DataID
 	doAnnounce := false
 	var announce []byte
+	var probeTargets []string
 
 	n.mu.Lock()
 	rd := n.repair
@@ -171,7 +198,15 @@ func (n *Node) repairTick() {
 		return
 	}
 	nowD := n.now()
-	doAnnounce, announce = true, rd.announce
+	announce = rd.announce
+	if rd.probeFanout > 0 {
+		// Sampled probing (§15): direct evidence to a bounded deterministic
+		// sample per tick; third-party evidence arrives as ack digests.
+		cand := append([]string(nil), peers...)
+		probeTargets = samplePeersLocked(rd.rng, cand, rd.probeFanout)
+	} else {
+		doAnnounce = true
+	}
 
 	// Membership sweep: a roster node whose known address dropped off the
 	// transport's peer list accumulates failures toward Suspect.
@@ -248,6 +283,10 @@ func (n *Node) repairTick() {
 	if doAnnounce {
 		n.bcast(p2p.FrameRepairAnnounce, announce)
 	}
+	for _, p := range probeTargets {
+		n.tel.probesSent.Inc()
+		n.send(p, p2p.FrameRepairProbe, announce)
+	}
 	for _, f := range fetches {
 		n.tel.repairFetches.Inc()
 		n.send(f.addr, p2p.FrameRepairGet, f.id[:])
@@ -312,12 +351,7 @@ func (n *Node) handleRepairAnnounce(from string, payload []byte) {
 		return
 	}
 	first := rd.det.Addr(i) == ""
-	if old := rd.det.Addr(i); old != "" && old != from {
-		delete(rd.addrIdx, old)
-	}
-	rd.det.SetAddr(i, from)
-	rd.addrIdx[from] = i
-	rd.det.Seen(i, n.now())
+	n.bindRepairAddrLocked(i, from)
 	var reply []byte
 	if first {
 		reply = rd.announce
@@ -406,8 +440,18 @@ func (n *Node) countWire(ft byte, payloadLen, copies int) {
 	switch ft {
 	case p2p.FrameDataRequest, p2p.FrameData:
 		n.tel.wireDataBytes.Add(bytes)
-	case p2p.FrameRepairAnnounce, p2p.FrameRepairGet, p2p.FrameRepairData:
+	case p2p.FrameRepairAnnounce, p2p.FrameRepairProbe, p2p.FrameRepairProbeAck:
+		// Liveness traffic alone — the bytes the §15 sampled-probe gate
+		// compares against the legacy broadcast heartbeat.
 		n.tel.wireRepairBytes.Add(bytes)
+		n.tel.wireHeartbeatBytes.Add(bytes)
+	case p2p.FrameRepairGet, p2p.FrameRepairData:
+		n.tel.wireRepairBytes.Add(bytes)
+	case p2p.FrameMeta, p2p.FrameMetaAnnounce, p2p.FrameGetMeta:
+		// Metadata propagation (push or gossip announce/fetch exchange) —
+		// the bytes the §15 meta-gossip gate compares.
+		n.tel.wireConsensusBytes.Add(bytes)
+		n.tel.wireMetaBytes.Add(bytes)
 	case p2p.FrameBlock, p2p.FrameGetBlock:
 		// Block propagation proper (push or gossip fetch exchange) — the
 		// bytes the §13 gossip-vs-full-mesh gate compares.

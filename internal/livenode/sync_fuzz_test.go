@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/meta"
 	"repro/internal/p2p"
 	"repro/internal/pos"
 	"repro/internal/telemetry"
@@ -85,10 +86,19 @@ func FuzzSyncFrames(f *testing.F) {
 	f.Add(uint8(5), tipBlk.Hash[:])
 	f.Add(uint8(4), encodeAnnounce(^uint64(0), tipBlk.Hash))
 	f.Add(uint8(5), tipBlk.Hash[:16]) // short hash
+	// §15 frames ride the same handler too; FuzzMetaGossipFrames owns
+	// their deep invariants, this corpus just keeps the dispatch surface
+	// co-fuzzed with sync.
+	f.Add(uint8(6), encodeIDList([]meta.DataID{meta.HashData([]byte("sync-fuzz"))}))
+	f.Add(uint8(7), putU32(nil, maxMetaBatch+1))
+	f.Add(uint8(8), putU32(nil, 1))
+	f.Add(uint8(9), putU32(putU32(nil, 1), 2))
 
 	frames := []byte{
 		p2p.FrameSyncLocator, p2p.FrameSyncHeaders, p2p.FrameSyncGetBatch,
 		p2p.FrameSyncBatch, p2p.FrameBlockAnnounce, p2p.FrameGetBlock,
+		p2p.FrameMetaAnnounce, p2p.FrameGetMeta,
+		p2p.FrameRepairProbe, p2p.FrameRepairProbeAck,
 	}
 	f.Fuzz(func(t *testing.T, sel uint8, payload []byte) {
 		// Decoders must fail cleanly, never panic, on any input.

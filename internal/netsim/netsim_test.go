@@ -88,6 +88,47 @@ func TestTopologyDownNodeDisconnects(t *testing.T) {
 	}
 }
 
+// TestCliqueMatchesDenseTopology pins NewClique to the topology it
+// replaces: every co-located node within range, routes computed by BFS.
+// The O(1) clique must answer every query identically without ever
+// materializing the O(n²) tables.
+func TestCliqueMatchesDenseTopology(t *testing.T) {
+	const n = 17
+	dense := NewTopology(make([]geo.Point, n), 1, nil)
+	clique := NewClique(n)
+	if clique.N() != n {
+		t.Fatalf("clique.N() = %d, want %d", clique.N(), n)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if got, want := clique.Hops(NodeID(a), NodeID(b)), dense.Hops(NodeID(a), NodeID(b)); got != want {
+				t.Fatalf("Hops(%d,%d) = %d, dense says %d", a, b, got, want)
+			}
+			if !clique.Reachable(NodeID(a), NodeID(b)) {
+				t.Fatalf("Reachable(%d,%d) = false", a, b)
+			}
+			next := clique.NextHop(NodeID(a), NodeID(b))
+			if a == b && next != NodeID(a) {
+				t.Fatalf("NextHop(%d,%d) = %d, want self", a, b, next)
+			}
+			if a != b && next != NodeID(b) {
+				t.Fatalf("NextHop(%d,%d) = %d, want direct hop %d", a, b, next, b)
+			}
+		}
+		if got, want := len(clique.Neighbors(NodeID(a))), len(dense.Neighbors(NodeID(a))); got != want {
+			t.Fatalf("node %d has %d neighbors, dense says %d", a, got, want)
+		}
+		for _, v := range clique.Neighbors(NodeID(a)) {
+			if v == NodeID(a) {
+				t.Fatalf("node %d lists itself as neighbor", a)
+			}
+		}
+	}
+	if !clique.Connected(nil) {
+		t.Fatal("clique reported disconnected")
+	}
+}
+
 func TestUnicastDelayAndAccounting(t *testing.T) {
 	cfg := Config{PerHopDelay: 10 * time.Millisecond, ChargeForwarding: true}
 	engine, nw := lineNetwork(t, 5, cfg)

@@ -28,9 +28,21 @@ const InfHops = math.MaxInt32
 type Topology struct {
 	positions []geo.Point
 	commRange float64
+	clique    bool // all-pairs 1 hop; adj/hops/next stay nil
 	adj       [][]NodeID
 	hops      [][]int32  // all-pairs hop counts; InfHops if unreachable
 	next      [][]NodeID // next[u][v]: first hop from u toward v, -1 if none
+}
+
+// NewClique returns the all-pairs-one-hop topology of a full TCP overlay
+// mesh: every distinct pair is one hop apart and always reachable. Unlike
+// NewTopology it materializes no adjacency or route tables, so building
+// one is O(n) in memory and O(1) in route work — a position-based clique
+// costs O(n²) memory and O(n³) BFS time, which at 1000 nodes is gigabytes
+// and minutes PER NODE STACK that holds one. Down state is not modeled;
+// overlay deployments track liveness above the transport.
+func NewClique(n int) *Topology {
+	return &Topology{positions: make([]geo.Point, n), commRange: 1, clique: true}
 }
 
 // NewTopology builds the radio graph for the given positions and range.
@@ -106,16 +118,38 @@ func (t *Topology) computeRoutes(down []bool) {
 // N returns the number of nodes (including down nodes).
 func (t *Topology) N() int { return len(t.positions) }
 
+// Clique reports whether this topology came from NewClique: every pair one
+// hop, no route tables. Cost models can exploit the uniform structure.
+func (t *Topology) Clique() bool { return t.clique }
+
 // Position returns the current position of node id.
 func (t *Topology) Position(id NodeID) geo.Point { return t.positions[id] }
 
 // Neighbors returns the direct radio neighbors of id. The returned slice
-// must not be modified.
-func (t *Topology) Neighbors(id NodeID) []NodeID { return t.adj[id] }
+// must not be modified. Clique topologies build the row on every call
+// (their only in-tree consumers never enumerate neighbors).
+func (t *Topology) Neighbors(id NodeID) []NodeID {
+	if t.clique {
+		out := make([]NodeID, 0, len(t.positions)-1)
+		for v := 0; v < len(t.positions); v++ {
+			if NodeID(v) != id {
+				out = append(out, NodeID(v))
+			}
+		}
+		return out
+	}
+	return t.adj[id]
+}
 
 // Hops returns the shortest hop count between two nodes, or InfHops if they
 // are in different components.
 func (t *Topology) Hops(a, b NodeID) int {
+	if t.clique {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
 	return int(t.hops[a][b])
 }
 
@@ -125,15 +159,23 @@ func (t *Topology) NextHop(a, b NodeID) NodeID {
 	if a == b {
 		return a
 	}
+	if t.clique {
+		return b
+	}
 	return t.next[a][b]
 }
 
 // Reachable reports whether b can be reached from a.
-func (t *Topology) Reachable(a, b NodeID) bool { return t.hops[a][b] != InfHops }
+func (t *Topology) Reachable(a, b NodeID) bool {
+	return t.clique || t.hops[a][b] != InfHops
+}
 
 // Connected reports whether all up nodes form a single component.
 // Down nodes are ignored.
 func (t *Topology) Connected(down []bool) bool {
+	if t.clique {
+		return true
+	}
 	first := -1
 	for i := 0; i < t.N(); i++ {
 		if !isDown(down, i) {

@@ -83,6 +83,22 @@ const (
 	// height, total length, content hash, chunk index/count, then the chunk
 	// bytes. A chunk count of zero means "no snapshot available".
 	FrameSnapshot
+	// FrameMetaAnnounce advertises a batch of metadata items by 32-byte
+	// data ID without shipping the bodies (inv-style metadata gossip,
+	// DESIGN.md §15).
+	FrameMetaAnnounce
+	// FrameGetMeta asks the announcer for the full metadata items behind a
+	// batch of 32-byte data IDs; each is answered with one FrameMeta.
+	FrameGetMeta
+	// FrameRepairProbe is the sampled liveness probe (DESIGN.md §15): a
+	// 4-byte roster index binding the sender's transport address to its
+	// node ID, sent to a bounded deterministic peer sample each repair
+	// tick instead of the legacy full-mesh FrameRepairAnnounce broadcast.
+	FrameRepairProbe
+	// FrameRepairProbeAck answers a probe: the responder's 4-byte roster
+	// index plus a bounded digest of third-party liveness evidence
+	// (roster index, evidence age) so aliveness spreads epidemically.
+	FrameRepairProbeAck
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) against corrupt length

@@ -89,6 +89,16 @@ func (d *Detector) Seen(i int, at time.Duration) {
 	d.failures[i] = 0
 }
 
+// LastSeen returns the newest evidence timestamp recorded for node i
+// (zero for an out-of-range index). Probe-ack digests serialize these as
+// ages so third-party evidence spreads without a global broadcast.
+func (d *Detector) LastSeen(i int) time.Duration {
+	if i < 0 || i >= d.cfg.N {
+		return 0
+	}
+	return d.lastSeen[i]
+}
+
 // Fail records one failed send (or missing peer link) toward node i.
 func (d *Detector) Fail(i int) {
 	if i < 0 || i >= d.cfg.N {

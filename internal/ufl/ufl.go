@@ -197,10 +197,11 @@ func Greedy(in *Instance) (*Solution, error) {
 		ordered[i] = idx
 	}
 
+	var batch, bestBatch []int
 	for remaining > 0 {
 		bestRatio := math.Inf(1)
 		bestFac := -1
-		var bestBatch []int
+		bestBatch = bestBatch[:0]
 		for i := 0; i < nf; i++ {
 			openCost := in.OpenCost[i]
 			if openSet[i] {
@@ -211,10 +212,16 @@ func Greedy(in *Instance) (*Solution, error) {
 			}
 			// Best prefix of unassigned clients by cost ratio: since the
 			// clients are sorted by connection cost, the optimal batch for
-			// this facility is some prefix of the unassigned ones.
+			// this facility is some prefix of the unassigned ones. Ties go
+			// to the LONGER prefix (<=, cross-multiplied to avoid float
+			// division): on plateaus of equal connection cost — ubiquitous
+			// in hop-count instances, where an open facility serves any
+			// remaining client at the same cost — a shortest-prefix rule
+			// assigns one client per pass and turns the whole solve
+			// quadratic in the client count.
 			sum := openCost
 			count := 0
-			var batch []int
+			batch = batch[:0]
 			bsum := 0.0
 			bcount := 0
 			for _, j := range ordered[i] {
@@ -224,7 +231,7 @@ func Greedy(in *Instance) (*Solution, error) {
 				sum += in.ConnCost[i][j]
 				count++
 				batch = append(batch, j)
-				if bcount == 0 || sum/float64(count) < bsum/float64(bcount) {
+				if bcount == 0 || sum*float64(bcount) <= bsum*float64(count) {
 					bsum, bcount = sum, count
 				}
 			}
